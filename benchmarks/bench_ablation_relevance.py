@@ -1,0 +1,71 @@
+"""Ablation benches for the relevance policy's design choices.
+
+Two ingredients called out in DESIGN.md are switched off individually:
+
+* the starvation threshold (``queryStarved``: fewer than 2 available chunks)
+  is raised, making the ABM prefetch more aggressively per query;
+* short-query prioritisation and waiting-time ageing inside
+  ``queryRelevance`` are disabled, removing the latency-oriented part of the
+  policy.
+
+Expected shape: the full relevance policy has the best (or tied best)
+normalized latency; disabling short-query priority hurts latency.
+"""
+
+from benchmarks._harness import (
+    nsm_table2_workload,
+    print_banner,
+    run_once,
+)
+from repro.core.policies.relevance import RelevanceParameters
+from repro.metrics import compare_runs
+from repro.metrics.report import format_table
+from repro.sim.setup import nsm_abm_factory
+from repro.sim.runner import run_simulation
+from repro.sim.sweeps import standalone_times
+
+VARIANTS = {
+    "paper defaults": RelevanceParameters(),
+    "no short-query priority": RelevanceParameters(
+        prioritise_short_queries=False, age_by_waiting_time=False
+    ),
+    "starvation threshold 4": RelevanceParameters(
+        starvation_threshold=4, almost_starved_threshold=4
+    ),
+}
+
+
+def _experiment():
+    config, layout, streams = nsm_table2_workload(seed=42)
+    specs = [spec for stream in streams for spec in stream]
+    baseline = standalone_times(
+        specs, config, nsm_abm_factory(layout, config, "normal", prefetch=False)
+    )
+    results = {}
+    for label, parameters in VARIANTS.items():
+        abm = nsm_abm_factory(layout, config, "relevance", parameters=parameters)()
+        run = run_simulation(streams, config, abm)
+        comparison = compare_runs({"relevance": run}, baseline)
+        results[label] = comparison.system_stats()["relevance"]
+    return results
+
+
+def bench_ablation_relevance(benchmark):
+    results = run_once(benchmark, _experiment)
+    print_banner("Ablation — relevance policy ingredients")
+    rows = [
+        [
+            label,
+            round(stats.avg_stream_time, 2),
+            round(stats.avg_normalized_latency, 2),
+            stats.io_requests,
+        ]
+        for label, stats in results.items()
+    ]
+    print(format_table(
+        ["variant", "avg stream time", "avg norm latency", "I/O requests"], rows
+    ))
+    default = results["paper defaults"]
+    no_priority = results["no short-query priority"]
+    # Short-query prioritisation is what buys the latency win.
+    assert default.avg_normalized_latency <= no_priority.avg_normalized_latency * 1.05

@@ -1,0 +1,45 @@
+"""Figure 2 — probability of finding a useful chunk in a randomly-filled
+buffer pool, for buffer sizes of 1/5/10/20/50 % of a 100-chunk relation.
+
+Regenerates the five curves from Equation 1 and cross-checks two anchor
+points against a Monte-Carlo simulation.
+"""
+
+from benchmarks._harness import print_banner, run_once
+from repro.metrics.analytic import (
+    buffer_reuse_probability,
+    buffer_reuse_probability_curve,
+    monte_carlo_reuse_probability,
+)
+
+TABLE_CHUNKS = 100
+BUFFER_FRACTIONS = (0.01, 0.05, 0.10, 0.20, 0.50)
+DEMANDS = tuple(range(0, 101, 5))
+
+
+def _compute():
+    return buffer_reuse_probability_curve(TABLE_CHUNKS, BUFFER_FRACTIONS, DEMANDS)
+
+
+def bench_fig2(benchmark):
+    curves = run_once(benchmark, _compute)
+    print_banner("Figure 2 — buffer reuse probability (Equation 1)")
+    header = "demand " + "  ".join(f"{int(f * 100):>3d}%buf" for f in BUFFER_FRACTIONS)
+    print(header)
+    for index, demand in enumerate(DEMANDS):
+        row = f"{demand:>6d} " + "  ".join(
+            f"{curves[fraction][index][1]:>7.3f}" for fraction in BUFFER_FRACTIONS
+        )
+        print(row)
+    # The anchor the paper calls out: >50% reuse probability for a 10% scan
+    # with a 10% buffer pool.
+    anchor = buffer_reuse_probability(TABLE_CHUNKS, 10, 10)
+    simulated = monte_carlo_reuse_probability(TABLE_CHUNKS, 10, 10, trials=20_000, seed=0)
+    print(f"\nanchor point P(CT=100, CQ=10, CB=10) = {anchor:.3f} "
+          f"(Monte-Carlo {simulated:.3f}, paper: >0.5)")
+    assert anchor > 0.5
+    assert abs(anchor - simulated) < 0.02
+    for fraction in BUFFER_FRACTIONS[1:]:
+        first = buffer_reuse_probability(TABLE_CHUNKS, 10, int(BUFFER_FRACTIONS[0] * 100))
+        other = buffer_reuse_probability(TABLE_CHUNKS, 10, int(fraction * 100))
+        assert other >= first

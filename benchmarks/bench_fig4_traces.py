@@ -1,0 +1,48 @@
+"""Figure 4 — behaviour of the scheduling policies: disk accesses over time.
+
+Re-runs the Table 2 workload with I/O tracing enabled and prints, per policy,
+an ASCII rendering of the (time, chunk) scatter plus the summary statistics
+that characterise each pattern: number of concurrent scan fronts (normal
+has many, elevator one), sequential fraction, and the number of re-reads.
+"""
+
+from benchmarks._harness import (
+    nsm_table2_workload,
+    print_banner,
+    run_nsm_comparison,
+    run_once,
+)
+
+POLICIES = ("normal", "attach", "elevator", "relevance")
+
+
+def _experiment():
+    config, layout, streams = nsm_table2_workload(seed=42)
+    comparison = run_nsm_comparison(
+        streams, config, layout, policies=POLICIES, record_trace=True
+    )
+    return comparison, layout.num_chunks
+
+
+def bench_fig4_traces(benchmark):
+    comparison, num_chunks = run_once(benchmark, _experiment)
+    print_banner("Figure 4 — disk accesses over time per policy")
+    fronts = {}
+    for policy in POLICIES:
+        trace = comparison.runs[policy].trace
+        fronts[policy] = trace.concurrent_fronts(window=8)
+        print(f"\n--- {policy} ---")
+        print(trace.render_ascii(num_chunks, width=70, height=16))
+        print(
+            f"requests={len(trace)}  sequential_fraction={trace.sequential_fraction():.2f}  "
+            f"concurrent_fronts={fronts[policy]:.2f}  rereads={trace.reread_count()}"
+        )
+    # The qualitative Figure 4 patterns: normal interleaves many sequential
+    # scans, elevator keeps a single strictly-sequential front, relevance is
+    # dynamic (more fronts than elevator, fewer requests than normal).
+    assert fronts["normal"] > fronts["elevator"]
+    assert (
+        comparison.runs["elevator"].trace.sequential_fraction()
+        > comparison.runs["normal"].trace.sequential_fraction()
+    )
+    assert len(comparison.runs["relevance"].trace) < len(comparison.runs["normal"].trace)

@@ -1,0 +1,75 @@
+"""Figure 5 — throughput/latency scatter over 15 query mixes.
+
+For each of the 15 (speed-mix, size-mix) combinations, the workload is run
+under every policy and reported as ratios relative to relevance — the
+(1, 1) point of the paper's scatter plot.  Expected shape: every
+normal/attach/elevator point lies at >= 1 on both axes, normal far out on
+both, elevator close on throughput but far on latency, attach in between.
+"""
+
+from benchmarks._harness import (
+    SCALE,
+    nsm_scale,
+    nsm_setup,
+    print_banner,
+    run_nsm_comparison,
+    run_once,
+)
+from repro.metrics.report import format_table
+from repro.workload import build_streams
+from repro.workload.mixes import all_mixes, mix_label, mix_templates
+
+POLICIES = ("normal", "attach", "elevator", "relevance")
+
+
+def _experiment():
+    params = nsm_scale()
+    config, layout, fast, slow = nsm_setup()
+    # The full 15-mix sweep is heavy; the small scale keeps streams modest.
+    num_streams = params.num_streams if SCALE == "paper" else 6
+    queries_per_stream = params.queries_per_stream if SCALE == "paper" else 3
+    results = {}
+    for index, (speed, size) in enumerate(all_mixes()):
+        templates = mix_templates(speed, size, fast, slow)
+        streams = build_streams(
+            templates, layout, num_streams, queries_per_stream, seed=100 + index
+        )
+        comparison = run_nsm_comparison(streams, config, layout, policies=POLICIES)
+        results[mix_label(speed, size)] = comparison.relative_to("relevance")
+    return results
+
+
+def bench_fig5_mixes(benchmark):
+    results = run_once(benchmark, _experiment)
+    print_banner("Figure 5 — policy performance relative to relevance, per query mix")
+    rows = []
+    for label, relative in sorted(results.items()):
+        row = [label]
+        for policy in ("normal", "attach", "elevator"):
+            row.append(relative[policy]["stream_time_ratio"])
+            row.append(relative[policy]["latency_ratio"])
+        rows.append(row)
+    headers = ["mix"]
+    for policy in ("normal", "attach", "elevator"):
+        headers.extend([f"{policy}:time", f"{policy}:lat"])
+    print(format_table(headers, rows))
+
+    # Relevance should win (or tie) on both axes for the vast majority of the
+    # 15 mixes; allow a small number of near-ties to keep the bench robust.
+    time_wins = sum(
+        1
+        for relative in results.values()
+        for policy in ("normal", "attach", "elevator")
+        if relative[policy]["stream_time_ratio"] >= 0.98
+    )
+    latency_wins = sum(
+        1
+        for relative in results.values()
+        for policy in ("normal", "attach", "elevator")
+        if relative[policy]["latency_ratio"] >= 0.98
+    )
+    total = 3 * len(results)
+    print(f"\nrelevance >= competitor on throughput in {time_wins}/{total} cases, "
+          f"on latency in {latency_wins}/{total} cases")
+    assert time_wins >= 0.8 * total
+    assert latency_wins >= 0.8 * total

@@ -1,0 +1,98 @@
+"""Figure 6 — behaviour under varying buffer-pool capacities.
+
+Two query sets are swept over buffer capacities from 12.5 % to 100 % of the
+table: an I/O-intensive one (only FAST queries) and a CPU-intensive one
+(FAST + SLOW).  Reported per capacity and policy: I/O requests, total time
+and average normalized latency — the three panels of Figure 6.
+
+Expected shape: I/Os fall as the buffer grows for every policy; relevance
+needs the fewest I/Os throughout; its advantage over attach/normal is
+largest at small buffered fractions.
+"""
+
+from benchmarks._harness import (
+    SCALE,
+    nsm_setup,
+    print_banner,
+    run_nsm_comparison,
+    run_once,
+)
+from repro.metrics.report import format_table
+from repro.workload import build_streams, standard_templates
+from repro.workload.queries import QueryTemplate
+
+POLICIES = ("normal", "attach", "elevator", "relevance")
+
+
+def _experiment():
+    config, layout, fast, slow = nsm_setup()
+    if SCALE == "paper":
+        fractions = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+        num_streams, queries_per_stream = 8, 4
+    else:
+        fractions = (0.125, 0.25, 0.5, 1.0)
+        num_streams, queries_per_stream = 6, 3
+    query_sets = {
+        "cpu-intensive": standard_templates(fast, slow),
+        "io-intensive": tuple(
+            QueryTemplate(fast, percent) for percent in (1, 10, 50, 100)
+        ),
+    }
+    results = {}
+    for set_name, templates in query_sets.items():
+        streams = build_streams(
+            templates, layout, num_streams, queries_per_stream, seed=7
+        )
+        per_capacity = {}
+        for fraction in fractions:
+            capacity = max(2, int(round(fraction * layout.num_chunks)))
+            sized = config.with_buffer_chunks(capacity)
+            comparison = run_nsm_comparison(streams, sized, layout, policies=POLICIES)
+            per_capacity[fraction] = comparison
+        results[set_name] = per_capacity
+    return results
+
+
+def bench_fig6_buffer_capacity(benchmark):
+    results = run_once(benchmark, _experiment)
+    print_banner("Figure 6 — varying buffer pool capacity")
+    for set_name, per_capacity in results.items():
+        print(f"\n### query set: {set_name}")
+        for metric, getter in (
+            ("I/O requests", lambda s: s.io_requests),
+            ("system time", lambda s: round(s.total_time, 1)),
+            ("avg normalized latency", lambda s: round(s.avg_normalized_latency, 2)),
+        ):
+            rows = []
+            for fraction, comparison in sorted(per_capacity.items()):
+                stats = comparison.system_stats()
+                rows.append(
+                    [f"{fraction * 100:.1f}%"] + [getter(stats[p]) for p in POLICIES]
+                )
+            print(format_table(["buffer"] + list(POLICIES), rows, title=metric))
+            print()
+
+    # Shape assertions on the I/O-intensive set.
+    io_set = results["io-intensive"]
+    fractions = sorted(io_set)
+    smallest, largest = fractions[0], fractions[-1]
+    for policy in POLICIES:
+        ios_small = io_set[smallest].system_stats()[policy].io_requests
+        ios_large = io_set[largest].system_stats()[policy].io_requests
+        assert ios_large <= ios_small
+    small_stats = io_set[smallest].system_stats()
+    assert small_stats["relevance"].io_requests == min(
+        small_stats[p].io_requests for p in POLICIES
+    )
+    # Relevance's advantage over normal shrinks as the buffer approaches the
+    # table size (everything becomes cacheable).
+    advantage_small = (
+        small_stats["normal"].io_requests / small_stats["relevance"].io_requests
+    )
+    large_stats = io_set[largest].system_stats()
+    advantage_large = (
+        large_stats["normal"].io_requests / max(1, large_stats["relevance"].io_requests)
+    )
+    print(f"relevance I/O advantage over normal: {advantage_small:.2f}x at "
+          f"{smallest * 100:.0f}% buffer vs {advantage_large:.2f}x at 100% buffer")
+    assert advantage_small >= advantage_large * 0.9

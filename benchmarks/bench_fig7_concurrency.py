@@ -1,0 +1,64 @@
+"""Figure 7 — performance with a varying number of concurrent queries.
+
+1 to 32 concurrent queries, each scanning 5 %, 20 % or 50 % of the table from
+a random location, under all four policies.  Reported: average query latency
+per (range size, concurrency) cell, as in the paper's three panels.
+
+Expected shape: relevance's advantage over normal and attach grows with the
+number of concurrent queries; elevator is close to relevance because the
+query set is uniform in range size.
+"""
+
+from benchmarks._harness import SCALE, nsm_setup, print_banner, run_once
+from repro.metrics.report import format_table
+from repro.sim.sweeps import compare_nsm_policies
+from repro.workload.queries import QueryTemplate
+from repro.workload.streams import build_uniform_streams
+
+POLICIES = ("normal", "attach", "elevator", "relevance")
+
+
+def _experiment():
+    config, layout, fast, _ = nsm_setup()
+    counts = (1, 2, 4, 8, 16, 32) if SCALE == "paper" else (1, 2, 4, 8, 16)
+    percentages = (5, 20, 50)
+    results = {}
+    for percent in percentages:
+        template = QueryTemplate(fast, percent)
+        per_count = {}
+        for count in counts:
+            streams = build_uniform_streams(template, layout, count, seed=percent * 100 + count)
+            runs = compare_nsm_policies(streams, config, layout, policies=POLICIES)
+            per_count[count] = {
+                policy: runs[policy].average_latency for policy in POLICIES
+            }
+        results[percent] = per_count
+    return results
+
+
+def bench_fig7_concurrency(benchmark):
+    results = run_once(benchmark, _experiment)
+    print_banner("Figure 7 — average query latency vs number of concurrent queries")
+    for percent, per_count in results.items():
+        rows = [
+            [count] + [round(latencies[policy], 2) for policy in POLICIES]
+            for count, latencies in sorted(per_count.items())
+        ]
+        print(format_table(["#queries"] + list(POLICIES), rows,
+                           title=f"{percent}% scans"))
+        print()
+
+    for percent, per_count in results.items():
+        counts = sorted(per_count)
+        low, high = counts[0], counts[-1]
+        # With a single query all policies behave identically.
+        single = per_count[low]
+        assert max(single.values()) <= min(single.values()) * 1.05
+        # At high concurrency relevance is at least as good as normal and the
+        # advantage grows with the query count.
+        assert per_count[high]["relevance"] <= per_count[high]["normal"] * 1.02
+        gain_low = per_count[low]["normal"] / per_count[low]["relevance"]
+        gain_high = per_count[high]["normal"] / per_count[high]["relevance"]
+        print(f"{percent}% scans: relevance advantage over normal "
+              f"{gain_low:.2f}x at {low} queries -> {gain_high:.2f}x at {high} queries")
+        assert gain_high >= gain_low * 0.95

@@ -1,0 +1,53 @@
+"""Table 2 — row-storage (NSM/PAX) policy comparison.
+
+16 streams of 4 random FAST/SLOW queries over 1/10/50/100 % ranges of the
+``lineitem`` table (8 streams of 3 at the default ``small`` scale), run under
+all four scheduling policies.  Prints the paper's two blocks: system
+statistics and per-query-type statistics.
+
+Expected shape (paper Table 2): relevance best on average stream time *and*
+normalized latency; elevator fewest I/Os but by far the worst latency;
+normal worst overall; attach in between.
+"""
+
+from benchmarks._harness import (
+    nsm_table2_workload,
+    print_banner,
+    run_nsm_comparison,
+    run_once,
+)
+from repro.metrics.report import (
+    render_policy_comparison,
+    render_query_table,
+    render_relative_scatter,
+)
+
+POLICIES = ("normal", "attach", "elevator", "relevance")
+
+
+def _experiment():
+    config, layout, streams = nsm_table2_workload(seed=42)
+    return run_nsm_comparison(streams, config, layout, policies=POLICIES)
+
+
+def bench_table2_nsm(benchmark):
+    comparison = run_once(benchmark, _experiment)
+    print_banner("Table 2 — NSM/PAX scheduling policy comparison")
+    print(render_policy_comparison(comparison, policies=POLICIES))
+    print()
+    print(render_query_table(comparison, policies=POLICIES))
+    print()
+    print(render_relative_scatter(comparison))
+
+    stats = comparison.system_stats()
+    # Headline claims of the paper, asserted on the reproduced run.
+    assert stats["relevance"].avg_stream_time <= min(
+        stats[p].avg_stream_time for p in POLICIES
+    ) * 1.01
+    assert stats["relevance"].avg_normalized_latency <= min(
+        stats[p].avg_normalized_latency for p in POLICIES
+    ) * 1.01
+    assert stats["normal"].io_requests == max(stats[p].io_requests for p in POLICIES)
+    assert stats["elevator"].avg_normalized_latency == max(
+        stats[p].avg_normalized_latency for p in POLICIES
+    )

@@ -1,0 +1,59 @@
+"""Table 3 — column-storage (DSM) policy comparison.
+
+Same structure as Table 2 but over the DSM ``lineitem`` layout (compressed
+per-column widths), with a larger table, a faster "slow" query and a 1.5 GB
+buffer, as in Section 6.3.
+
+Expected shape: relevance best on stream time and latency; elevator fewest
+I/O requests but the worst latency; normal worst overall.
+"""
+
+from benchmarks._harness import (
+    dsm_scale,
+    dsm_setup,
+    print_banner,
+    run_dsm_comparison,
+    run_once,
+)
+from repro.metrics.report import (
+    render_policy_comparison,
+    render_query_table,
+    render_relative_scatter,
+)
+from repro.workload import build_streams, standard_templates
+
+POLICIES = ("normal", "attach", "elevator", "relevance")
+
+
+def _experiment():
+    params = dsm_scale()
+    config, layout, fast, slow, capacity_pages = dsm_setup()
+    templates = standard_templates(fast, slow)
+    streams = build_streams(
+        templates, layout, params.num_streams, params.queries_per_stream, seed=11
+    )
+    return run_dsm_comparison(
+        streams, config, layout, capacity_pages, policies=POLICIES
+    )
+
+
+def bench_table3_dsm(benchmark):
+    comparison = run_once(benchmark, _experiment)
+    print_banner("Table 3 — DSM scheduling policy comparison")
+    print(render_policy_comparison(comparison, policies=POLICIES))
+    print()
+    print(render_query_table(comparison, policies=POLICIES))
+    print()
+    print(render_relative_scatter(comparison))
+
+    stats = comparison.system_stats()
+    assert stats["relevance"].avg_stream_time <= min(
+        stats[p].avg_stream_time for p in POLICIES
+    ) * 1.02
+    assert stats["relevance"].avg_normalized_latency <= min(
+        stats[p].avg_normalized_latency for p in POLICIES
+    ) * 1.02
+    assert stats["elevator"].avg_normalized_latency == max(
+        stats[p].avg_normalized_latency for p in POLICIES
+    )
+    assert stats["normal"].io_requests == max(stats[p].io_requests for p in POLICIES)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: compare the four scan-scheduling policies on a small workload.
+
+Builds a TPC-H-like ``lineitem`` table, generates a few streams of FAST/SLOW
+range scans, runs them under normal / attach / elevator / relevance and
+prints the paper-style comparison (Table 2 format).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.common.config import PAPER_NSM_SYSTEM
+from repro.metrics import compare_runs
+from repro.metrics.report import (
+    render_policy_comparison,
+    render_query_table,
+    render_relative_scatter,
+)
+from repro.sim.setup import nsm_abm_factory
+from repro.sim.sweeps import compare_nsm_policies, standalone_times
+from repro.workload import (
+    build_streams,
+    lineitem_nsm_layout,
+    nsm_query_families,
+    standard_templates,
+)
+
+POLICIES = ("normal", "attach", "elevator", "relevance")
+
+
+def main() -> None:
+    config = PAPER_NSM_SYSTEM.with_buffer_chunks(32)
+    # A scale-factor-5 lineitem: ~130 chunks of 16 MB, 4x the buffer pool.
+    layout = lineitem_nsm_layout(5.0, buffer=config.buffer)
+    print("table:", layout.describe())
+    print("system:", config.describe())
+
+    fast, slow = nsm_query_families(config)
+    templates = standard_templates(fast, slow)
+    streams = build_streams(templates, layout, num_streams=8, queries_per_stream=3,
+                            seed=1)
+    print(f"\nworkload: {len(streams)} streams x {len(streams[0])} queries "
+          f"({sum(len(s) for s in streams)} scans total)\n")
+
+    runs = compare_nsm_policies(streams, config, layout, policies=POLICIES)
+    specs = [spec for stream in streams for spec in stream]
+    baseline = standalone_times(
+        specs, config, nsm_abm_factory(layout, config, "normal", prefetch=False)
+    )
+    comparison = compare_runs(runs, baseline)
+
+    print(render_policy_comparison(comparison, policies=POLICIES))
+    print()
+    print(render_query_table(comparison, policies=POLICIES))
+    print()
+    print(render_relative_scatter(comparison))
+    best = min(comparison.system_stats().items(), key=lambda kv: kv[1].avg_stream_time)
+    print(f"\nbest policy on throughput: {best[0]}")
+
+
+if __name__ == "__main__":
+    main()

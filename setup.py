@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed in environments without the ``wheel`` package
+or network access (legacy editable installs)::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

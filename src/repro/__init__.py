@@ -1,0 +1,114 @@
+"""repro — a reproduction of "Cooperative Scans: Dynamic Bandwidth Sharing in
+a DBMS" (Zukowski, Héman, Nes, Boncz; VLDB 2007).
+
+The package implements the Cooperative Scans framework — the CScan operator
+and the Active Buffer Manager (ABM) with its relevance scheduling policy —
+together with every substrate the paper's evaluation relies on: NSM/PAX and
+DSM storage layouts, a disk and CPU model, a discrete-event simulator of
+concurrent scans, an in-memory query engine with out-of-order-aware
+operators, workload generators and the metrics/report machinery that
+regenerates the paper's tables and figures.
+
+Quick start::
+
+    from repro import quickstart_nsm_run
+    comparison = quickstart_nsm_run()
+    print(comparison.system_stats()["relevance"].avg_stream_time)
+
+See ``examples/quickstart.py`` for a richer tour and ``DESIGN.md`` for the
+mapping between paper sections and modules.
+"""
+
+from __future__ import annotations
+
+from repro.common import (
+    SystemConfig,
+    DiskConfig,
+    CpuConfig,
+    BufferConfig,
+    PAPER_NSM_SYSTEM,
+    PAPER_DSM_SYSTEM,
+)
+from repro.core import (
+    ScanRequest,
+    CScanHandle,
+    ActiveBufferManager,
+    DSMActiveBufferManager,
+    make_policy,
+    make_dsm_policy,
+    POLICY_NAMES,
+)
+from repro.sim import (
+    run_simulation,
+    run_standalone,
+    make_nsm_abm,
+    make_dsm_abm,
+    nsm_abm_factory,
+    dsm_abm_factory,
+    RunResult,
+)
+from repro.metrics import PolicyComparison, compare_runs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "DiskConfig",
+    "CpuConfig",
+    "BufferConfig",
+    "PAPER_NSM_SYSTEM",
+    "PAPER_DSM_SYSTEM",
+    "ScanRequest",
+    "CScanHandle",
+    "ActiveBufferManager",
+    "DSMActiveBufferManager",
+    "make_policy",
+    "make_dsm_policy",
+    "POLICY_NAMES",
+    "run_simulation",
+    "run_standalone",
+    "make_nsm_abm",
+    "make_dsm_abm",
+    "nsm_abm_factory",
+    "dsm_abm_factory",
+    "RunResult",
+    "PolicyComparison",
+    "compare_runs",
+    "quickstart_nsm_run",
+    "__version__",
+]
+
+
+def quickstart_nsm_run(
+    num_streams: int = 4,
+    queries_per_stream: int = 2,
+    scale_factor: float = 1.0,
+    seed: int = 0,
+) -> PolicyComparison:
+    """Run a small NSM policy comparison and return a PolicyComparison.
+
+    This is a convenience wrapper used by the README quick-start; it builds a
+    ``lineitem``-like table, a small FAST/SLOW workload, runs all four
+    scheduling policies and returns the aggregated comparison.
+    """
+    from repro.sim.sweeps import compare_nsm_policies, standalone_times
+    from repro.workload import (
+        build_streams,
+        lineitem_nsm_layout,
+        nsm_query_families,
+        standard_templates,
+    )
+
+    config = PAPER_NSM_SYSTEM
+    layout = lineitem_nsm_layout(scale_factor, buffer=config.buffer)
+    fast, slow = nsm_query_families(config)
+    templates = standard_templates(fast, slow, percentages=(10, 50, 100))
+    streams = build_streams(
+        templates, layout, num_streams, queries_per_stream, seed=seed
+    )
+    runs = compare_nsm_policies(streams, config, layout)
+    specs = [spec for stream in streams for spec in stream]
+    baseline = standalone_times(
+        specs, config, nsm_abm_factory(layout, config, "normal", prefetch=False)
+    )
+    return compare_runs(runs, baseline)

@@ -1,0 +1,157 @@
+"""A classic page-granularity buffer pool.
+
+This is the "standard buffer manager" of Section 7.1: fixed number of frames,
+pin/unpin protocol, pluggable replacement.  The simulator's *normal* baseline
+and the in-memory engine's plain ``Scan`` operator go through this component;
+the Active Buffer Manager can be layered on top of it (requesting ranges of
+pages and pinning them), which is exercised by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.common.errors import BufferPoolError
+from repro.bufman.replacement import ReplacementPolicy, make_replacement
+
+
+@dataclass
+class Frame:
+    """One buffer frame holding a cached object."""
+
+    key: Hashable
+    pin_count: int = 0
+    dirty: bool = False
+    payload: object = None
+
+
+class BufferPool:
+    """Fixed-capacity cache of keyed objects with pin/unpin semantics.
+
+    Keys are opaque (page ids, ``(table, page)`` tuples, chunk ids, ...).
+    ``fetch`` returns a pinned frame, loading it through ``loader`` on a miss
+    and evicting an unpinned victim chosen by the replacement policy when the
+    pool is full.
+    """
+
+    def __init__(self, capacity: int, replacement: str | ReplacementPolicy = "lru") -> None:
+        if capacity < 1:
+            raise BufferPoolError("buffer pool capacity must be >= 1")
+        self._capacity = capacity
+        self._frames: Dict[Hashable, Frame] = {}
+        if isinstance(replacement, str):
+            self._replacement = make_replacement(replacement)
+        else:
+            self._replacement = replacement
+        self.hits: int = 0
+        self.misses: int = 0
+        self.evictions: int = 0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def capacity(self) -> int:
+        """Maximum number of frames."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._frames
+
+    def pinned_keys(self) -> List[Hashable]:
+        """Keys currently pinned by at least one user."""
+        return [key for key, frame in self._frames.items() if frame.pin_count > 0]
+
+    def cached_keys(self) -> List[Hashable]:
+        """All currently cached keys."""
+        return list(self._frames)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of fetches served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------- operations
+    def fetch(
+        self,
+        key: Hashable,
+        loader: Optional[Callable[[Hashable], object]] = None,
+        pin: bool = True,
+    ) -> Frame:
+        """Return the frame for ``key``, loading and caching it on a miss.
+
+        The returned frame is pinned unless ``pin=False``; callers must
+        eventually :meth:`unpin` every pinned fetch.
+        """
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.hits += 1
+            self._replacement.touch(key)
+            if pin:
+                frame.pin_count += 1
+            return frame
+
+        self.misses += 1
+        if len(self._frames) >= self._capacity:
+            self._evict_one()
+        payload = loader(key) if loader is not None else None
+        frame = Frame(key=key, pin_count=1 if pin else 0, payload=payload)
+        self._frames[key] = frame
+        self._replacement.insert(key)
+        return frame
+
+    def _evict_one(self) -> None:
+        candidates = [key for key, frame in self._frames.items() if frame.pin_count == 0]
+        victim = self._replacement.victim(candidates)
+        if victim is None:
+            raise BufferPoolError(
+                "buffer pool is full and every frame is pinned "
+                f"(capacity={self._capacity})"
+            )
+        self.evict(victim)
+
+    def unpin(self, key: Hashable) -> None:
+        """Release one pin on a cached key."""
+        frame = self._frames.get(key)
+        if frame is None:
+            raise BufferPoolError(f"cannot unpin {key!r}: not cached")
+        if frame.pin_count <= 0:
+            raise BufferPoolError(f"cannot unpin {key!r}: pin count already zero")
+        frame.pin_count -= 1
+
+    def pin(self, key: Hashable) -> Frame:
+        """Pin an already-cached key (raises if missing)."""
+        frame = self._frames.get(key)
+        if frame is None:
+            raise BufferPoolError(f"cannot pin {key!r}: not cached")
+        frame.pin_count += 1
+        self._replacement.touch(key)
+        return frame
+
+    def evict(self, key: Hashable) -> None:
+        """Explicitly evict an unpinned cached key."""
+        frame = self._frames.get(key)
+        if frame is None:
+            raise BufferPoolError(f"cannot evict {key!r}: not cached")
+        if frame.pin_count > 0:
+            raise BufferPoolError(f"cannot evict {key!r}: pinned {frame.pin_count} times")
+        del self._frames[key]
+        self._replacement.remove(key)
+        self.evictions += 1
+
+    def mark_dirty(self, key: Hashable) -> None:
+        """Mark a cached key as dirty (updates are out of scope but the flag
+        keeps the pool honest as a general-purpose component)."""
+        frame = self._frames.get(key)
+        if frame is None:
+            raise BufferPoolError(f"cannot mark {key!r} dirty: not cached")
+        frame.dirty = True
+
+    def clear(self) -> None:
+        """Drop every unpinned frame (used between benchmark repetitions)."""
+        for key in list(self._frames):
+            if self._frames[key].pin_count == 0:
+                self.evict(key)

@@ -1,0 +1,185 @@
+"""Replacement policies for the classic buffer pool.
+
+The paper's *normal* policy is "a traditional LRU buffering policy"; older
+DBMS literature (Chou & DeWitt, Sacco & Schkolnick) suggests MRU for large
+scans.  Both are provided, together with FIFO and CLOCK, so that the
+traditional baseline can be configured in benchmarks and ablations.
+
+All policies operate on opaque hashable keys (page ids, chunk ids, ...); the
+pool is responsible for never asking to victimise a pinned key.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.common.errors import BufferPoolError
+
+
+class ReplacementPolicy(ABC):
+    """Interface of a replacement policy over hashable keys."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def insert(self, key: Hashable) -> None:
+        """Register a newly cached key."""
+
+    @abstractmethod
+    def touch(self, key: Hashable) -> None:
+        """Record an access to a cached key."""
+
+    @abstractmethod
+    def remove(self, key: Hashable) -> None:
+        """Forget a key (it was evicted or invalidated)."""
+
+    @abstractmethod
+    def victim(self, candidates: Iterable[Hashable]) -> Optional[Hashable]:
+        """Choose which of ``candidates`` to evict (``None`` if no candidate)."""
+
+    @abstractmethod
+    def __contains__(self, key: Hashable) -> bool:
+        """Whether the key is currently tracked."""
+
+
+class _OrderedPolicy(ReplacementPolicy):
+    """Shared machinery for recency/insertion ordered policies."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def insert(self, key: Hashable) -> None:
+        if key in self._order:
+            raise BufferPoolError(f"key {key!r} inserted twice into {self.name}")
+        self._order[key] = None
+
+    def remove(self, key: Hashable) -> None:
+        if key not in self._order:
+            raise BufferPoolError(f"key {key!r} not tracked by {self.name}")
+        del self._order[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._order
+
+    def _ordered_candidates(self, candidates: Iterable[Hashable]) -> List[Hashable]:
+        allowed = set(candidates)
+        return [key for key in self._order if key in allowed]
+
+
+class LRUReplacement(_OrderedPolicy):
+    """Least-recently-used replacement."""
+
+    name = "lru"
+
+    def touch(self, key: Hashable) -> None:
+        if key not in self._order:
+            raise BufferPoolError(f"key {key!r} not tracked by {self.name}")
+        self._order.move_to_end(key)
+
+    def victim(self, candidates: Iterable[Hashable]) -> Optional[Hashable]:
+        ordered = self._ordered_candidates(candidates)
+        return ordered[0] if ordered else None
+
+
+class MRUReplacement(_OrderedPolicy):
+    """Most-recently-used replacement (classic choice for pure scans)."""
+
+    name = "mru"
+
+    def touch(self, key: Hashable) -> None:
+        if key not in self._order:
+            raise BufferPoolError(f"key {key!r} not tracked by {self.name}")
+        self._order.move_to_end(key)
+
+    def victim(self, candidates: Iterable[Hashable]) -> Optional[Hashable]:
+        ordered = self._ordered_candidates(candidates)
+        return ordered[-1] if ordered else None
+
+
+class FIFOReplacement(_OrderedPolicy):
+    """First-in-first-out replacement (insertion order, accesses ignored)."""
+
+    name = "fifo"
+
+    def touch(self, key: Hashable) -> None:
+        if key not in self._order:
+            raise BufferPoolError(f"key {key!r} not tracked by {self.name}")
+        # FIFO ignores accesses.
+
+    def victim(self, candidates: Iterable[Hashable]) -> Optional[Hashable]:
+        ordered = self._ordered_candidates(candidates)
+        return ordered[0] if ordered else None
+
+
+class ClockReplacement(ReplacementPolicy):
+    """CLOCK (second-chance) replacement."""
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._keys: List[Hashable] = []
+        self._referenced: Dict[Hashable, bool] = {}
+        self._hand: int = 0
+
+    def insert(self, key: Hashable) -> None:
+        if key in self._referenced:
+            raise BufferPoolError(f"key {key!r} inserted twice into {self.name}")
+        self._keys.append(key)
+        self._referenced[key] = True
+
+    def touch(self, key: Hashable) -> None:
+        if key not in self._referenced:
+            raise BufferPoolError(f"key {key!r} not tracked by {self.name}")
+        self._referenced[key] = True
+
+    def remove(self, key: Hashable) -> None:
+        if key not in self._referenced:
+            raise BufferPoolError(f"key {key!r} not tracked by {self.name}")
+        index = self._keys.index(key)
+        del self._keys[index]
+        del self._referenced[key]
+        if self._hand > index:
+            self._hand -= 1
+        if self._keys:
+            self._hand %= len(self._keys)
+        else:
+            self._hand = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._referenced
+
+    def victim(self, candidates: Iterable[Hashable]) -> Optional[Hashable]:
+        allowed = set(candidates)
+        eligible = [key for key in self._keys if key in allowed]
+        if not eligible:
+            return None
+        # Sweep at most two full rounds: one to clear reference bits, one to pick.
+        for _ in range(2 * len(self._keys)):
+            key = self._keys[self._hand]
+            self._hand = (self._hand + 1) % len(self._keys)
+            if key not in allowed:
+                continue
+            if self._referenced[key]:
+                self._referenced[key] = False
+                continue
+            return key
+        # All eligible keys kept getting referenced; fall back to the first.
+        return eligible[0]
+
+
+_POLICIES = {
+    "lru": LRUReplacement,
+    "mru": MRUReplacement,
+    "fifo": FIFOReplacement,
+    "clock": ClockReplacement,
+}
+
+
+def make_replacement(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (lru, mru, fifo, clock)."""
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError as exc:
+        raise BufferPoolError(f"unknown replacement policy {name!r}") from exc

@@ -1,0 +1,351 @@
+"""Chunk-slot and column-block pools used by the Active Buffer Manager.
+
+The ABM does not cache pages for their own sake: it tracks *chunks* (NSM) or
+per-column *blocks of logical chunks* (DSM), together with which queries are
+still interested in them and which queries are currently consuming them.
+Those two pools are implemented here; the scheduling policies consult them
+and the simulator mutates them as loads complete and queries consume data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.common.errors import BufferPoolError
+
+#: Key of a DSM column block: (logical chunk id, column name).
+BlockKey = Tuple[int, str]
+
+
+@dataclass
+class ChunkSlot:
+    """State of one buffered NSM chunk."""
+
+    chunk: int
+    loaded_at: float
+    last_used: float
+    pin_count: int = 0
+
+    @property
+    def pinned(self) -> bool:
+        """Whether some query is currently consuming this chunk."""
+        return self.pin_count > 0
+
+
+class ChunkSlotPool:
+    """Fixed-capacity pool of NSM chunk slots.
+
+    Capacity accounting includes in-flight loads, so that the scheduler never
+    over-commits the buffer: ``len(buffered) + len(loading) <= capacity``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise BufferPoolError("chunk slot pool needs capacity >= 1")
+        self._capacity = capacity
+        self._slots: Dict[int, ChunkSlot] = {}
+        self._loading: Set[int] = set()
+        self.loads_completed: int = 0
+        self.evictions: int = 0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def capacity(self) -> int:
+        """Maximum number of chunks held (buffered plus in flight)."""
+        return self._capacity
+
+    def __contains__(self, chunk: int) -> bool:
+        return chunk in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[ChunkSlot]:
+        return iter(self._slots.values())
+
+    def buffered_chunks(self) -> List[int]:
+        """Chunks currently fully loaded."""
+        return list(self._slots)
+
+    def is_loading(self, chunk: int) -> bool:
+        """Whether the chunk is currently being loaded."""
+        return chunk in self._loading
+
+    def loading_chunks(self) -> List[int]:
+        """Chunks currently in flight."""
+        return list(self._loading)
+
+    def in_use(self) -> int:
+        """Number of occupied slots (buffered plus in flight)."""
+        return len(self._slots) + len(self._loading)
+
+    def free_slots(self) -> int:
+        """Number of slots available without eviction."""
+        return self._capacity - self.in_use()
+
+    def has_free_slot(self) -> bool:
+        """Whether a load can start without evicting."""
+        return self.free_slots() > 0
+
+    def slot(self, chunk: int) -> ChunkSlot:
+        """Return the slot of a buffered chunk (raises if absent)."""
+        try:
+            return self._slots[chunk]
+        except KeyError as exc:
+            raise BufferPoolError(f"chunk {chunk} is not buffered") from exc
+
+    def unpinned_chunks(self) -> List[int]:
+        """Buffered chunks not currently consumed by any query."""
+        return [chunk for chunk, slot in self._slots.items() if not slot.pinned]
+
+    # ------------------------------------------------------------- mutation
+    def start_load(self, chunk: int) -> None:
+        """Reserve a slot for an in-flight load."""
+        if chunk in self._slots or chunk in self._loading:
+            raise BufferPoolError(f"chunk {chunk} is already buffered or loading")
+        if not self.has_free_slot():
+            raise BufferPoolError("no free slot: evict before starting a load")
+        self._loading.add(chunk)
+
+    def cancel_load(self, chunk: int) -> None:
+        """Abort an in-flight load reservation."""
+        if chunk not in self._loading:
+            raise BufferPoolError(f"chunk {chunk} is not being loaded")
+        self._loading.discard(chunk)
+
+    def complete_load(self, chunk: int, now: float) -> ChunkSlot:
+        """Mark an in-flight load as finished; the chunk becomes buffered."""
+        if chunk not in self._loading:
+            raise BufferPoolError(f"chunk {chunk} is not being loaded")
+        self._loading.discard(chunk)
+        slot = ChunkSlot(chunk=chunk, loaded_at=now, last_used=now)
+        self._slots[chunk] = slot
+        self.loads_completed += 1
+        return slot
+
+    def pin(self, chunk: int, now: float) -> None:
+        """A query starts consuming the chunk."""
+        slot = self.slot(chunk)
+        slot.pin_count += 1
+        slot.last_used = now
+
+    def unpin(self, chunk: int, now: float) -> None:
+        """A query finished consuming the chunk."""
+        slot = self.slot(chunk)
+        if slot.pin_count <= 0:
+            raise BufferPoolError(f"chunk {chunk} pin count already zero")
+        slot.pin_count -= 1
+        slot.last_used = now
+
+    def evict(self, chunk: int) -> None:
+        """Remove an unpinned buffered chunk."""
+        slot = self.slot(chunk)
+        if slot.pinned:
+            raise BufferPoolError(f"cannot evict pinned chunk {chunk}")
+        del self._slots[chunk]
+        self.evictions += 1
+
+    def reset(self) -> None:
+        """Drop all state (new run)."""
+        self._slots.clear()
+        self._loading.clear()
+        self.loads_completed = 0
+        self.evictions = 0
+
+
+@dataclass
+class BlockState:
+    """State of one buffered DSM column block (one column of one chunk)."""
+
+    chunk: int
+    column: str
+    pages: int
+    loaded_at: float
+    last_used: float
+    pin_count: int = 0
+
+    @property
+    def key(self) -> BlockKey:
+        """The (chunk, column) key of this block."""
+        return (self.chunk, self.column)
+
+    @property
+    def pinned(self) -> bool:
+        """Whether some query is currently consuming this block."""
+        return self.pin_count > 0
+
+
+class DSMBlockPool:
+    """Page-accounted pool of DSM column blocks.
+
+    Unlike the NSM pool the capacity is expressed in *pages*, because column
+    blocks have widely varying physical sizes (Section 6.1).  Blocks are keyed
+    by ``(chunk, column)``; pinning happens per block so a query only protects
+    the columns it actually reads.
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise BufferPoolError("DSM block pool needs capacity >= 1 page")
+        self._capacity_pages = capacity_pages
+        self._blocks: Dict[BlockKey, BlockState] = {}
+        self._loading: Dict[BlockKey, int] = {}
+        #: Chunks protected from eviction because a query has already chosen
+        #: them as its next chunk (the DSM "avoid data waste" rule).
+        self._reserved_chunks: Dict[int, int] = {}
+        #: Running page counter covering buffered blocks and in-flight loads,
+        #: kept incrementally because ``used_pages`` sits on the hot path of
+        #: every load and eviction decision.
+        self._used_pages: int = 0
+        self.loads_completed: int = 0
+        self.evictions: int = 0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def capacity_pages(self) -> int:
+        """Total page budget."""
+        return self._capacity_pages
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[BlockState]:
+        return iter(self._blocks.values())
+
+    def block(self, key: BlockKey) -> BlockState:
+        """Return a buffered block (raises if absent)."""
+        try:
+            return self._blocks[key]
+        except KeyError as exc:
+            raise BufferPoolError(f"block {key} is not buffered") from exc
+
+    def is_loading(self, key: BlockKey) -> bool:
+        """Whether the block is currently in flight."""
+        return key in self._loading
+
+    def has_block(self, chunk: int, column: str) -> bool:
+        """Whether the block is fully buffered."""
+        return (chunk, column) in self._blocks
+
+    def buffered_keys(self) -> List[BlockKey]:
+        """All fully buffered block keys."""
+        return list(self._blocks)
+
+    def buffered_chunks(self) -> Set[int]:
+        """Chunks with at least one buffered column block."""
+        return {chunk for chunk, _ in self._blocks}
+
+    def blocks_of_chunk(self, chunk: int) -> List[BlockState]:
+        """All buffered blocks belonging to one logical chunk."""
+        return [state for state in self._blocks.values() if state.chunk == chunk]
+
+    def used_pages(self) -> int:
+        """Pages occupied by buffered blocks plus in-flight loads."""
+        return self._used_pages
+
+    def free_pages(self) -> int:
+        """Pages available without eviction."""
+        return self._capacity_pages - self.used_pages()
+
+    def chunk_cached_pages(self, chunk: int, columns: Optional[Iterable[str]] = None) -> int:
+        """Buffered pages of a chunk, optionally restricted to some columns."""
+        if columns is None:
+            return sum(state.pages for state in self.blocks_of_chunk(chunk))
+        wanted = set(columns)
+        return sum(
+            state.pages
+            for state in self.blocks_of_chunk(chunk)
+            if state.column in wanted
+        )
+
+    # ----------------------------------------------------------- reservation
+    def reserve_chunk(self, chunk: int) -> None:
+        """Protect a chunk from eviction (a query picked it as its next chunk)."""
+        self._reserved_chunks[chunk] = self._reserved_chunks.get(chunk, 0) + 1
+
+    def release_chunk(self, chunk: int) -> None:
+        """Drop one reservation on a chunk."""
+        count = self._reserved_chunks.get(chunk, 0)
+        if count <= 0:
+            raise BufferPoolError(f"chunk {chunk} is not reserved")
+        if count == 1:
+            del self._reserved_chunks[chunk]
+        else:
+            self._reserved_chunks[chunk] = count - 1
+
+    def is_reserved(self, chunk: int) -> bool:
+        """Whether the chunk is protected from eviction."""
+        return self._reserved_chunks.get(chunk, 0) > 0
+
+    # ------------------------------------------------------------- mutation
+    def start_load(self, key: BlockKey, pages: int) -> None:
+        """Reserve pages for an in-flight block load."""
+        if pages <= 0:
+            raise BufferPoolError("block load must cover at least one page")
+        if key in self._blocks or key in self._loading:
+            raise BufferPoolError(f"block {key} is already buffered or loading")
+        if pages > self.free_pages():
+            raise BufferPoolError(
+                f"not enough free pages for block {key}: need {pages}, "
+                f"have {self.free_pages()}"
+            )
+        self._loading[key] = pages
+        self._used_pages += pages
+
+    def complete_load(self, key: BlockKey, now: float) -> BlockState:
+        """Mark an in-flight block load as finished."""
+        if key not in self._loading:
+            raise BufferPoolError(f"block {key} is not being loaded")
+        pages = self._loading.pop(key)
+        chunk, column = key
+        state = BlockState(
+            chunk=chunk,
+            column=column,
+            pages=pages,
+            loaded_at=now,
+            last_used=now,
+        )
+        self._blocks[key] = state
+        self.loads_completed += 1
+        return state
+
+    def pin(self, key: BlockKey, now: float) -> None:
+        """A query starts consuming this block."""
+        state = self.block(key)
+        state.pin_count += 1
+        state.last_used = now
+
+    def unpin(self, key: BlockKey, now: float) -> None:
+        """A query finished consuming this block."""
+        state = self.block(key)
+        if state.pin_count <= 0:
+            raise BufferPoolError(f"block {key} pin count already zero")
+        state.pin_count -= 1
+        state.last_used = now
+
+    def evict(self, key: BlockKey) -> int:
+        """Evict an unpinned block; returns the number of pages freed."""
+        state = self.block(key)
+        if state.pinned:
+            raise BufferPoolError(f"cannot evict pinned block {key}")
+        if self.is_reserved(state.chunk):
+            raise BufferPoolError(
+                f"cannot evict block {key}: chunk {state.chunk} is reserved"
+            )
+        del self._blocks[key]
+        self._used_pages -= state.pages
+        self.evictions += 1
+        return state.pages
+
+    def reset(self) -> None:
+        """Drop all state (new run)."""
+        self._blocks.clear()
+        self._loading.clear()
+        self._reserved_chunks.clear()
+        self._used_pages = 0
+        self.loads_completed = 0
+        self.evictions = 0

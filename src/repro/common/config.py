@@ -1,0 +1,172 @@
+"""Configuration dataclasses describing the simulated machine.
+
+The benchmark machine of the paper (Section 5.1) was a dual-CPU 2 GHz
+Opteron with 4 GB of RAM and a 4-way RAID delivering slightly over 200 MB/s.
+Scans use 16 MB chunks and the ABM buffer pool holds 64 chunks (1 GB).
+:data:`PAPER_NSM_SYSTEM` and :data:`PAPER_DSM_SYSTEM` capture those settings;
+tests use smaller configurations for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Parameters of the simulated disk subsystem.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Sustained sequential bandwidth of the (RAID) volume.
+    avg_seek_s:
+        Average positioning cost paid when the next chunk is not physically
+        adjacent to the previously read one.
+    sequential_seek_s:
+        Positioning cost paid when the next chunk *is* adjacent (track-to-track
+        switch); usually close to zero.
+    spindles:
+        Number of independent spindles.  The chunk-granularity model issues one
+        chunk load at a time, so spindles only scale the effective bandwidth
+        (the paper's 4-way RAID behaves like one fast sequential device for
+        chunk-sized requests).
+    """
+
+    bandwidth_bytes_per_s: float = 200.0 * MB
+    avg_seek_s: float = 0.008
+    sequential_seek_s: float = 0.001
+    spindles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("disk bandwidth must be positive")
+        if self.avg_seek_s < 0 or self.sequential_seek_s < 0:
+            raise ConfigurationError("seek times must be non-negative")
+        if self.spindles < 1:
+            raise ConfigurationError("spindles must be >= 1")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Aggregate sequential bandwidth over all spindles (bytes/s)."""
+        return self.bandwidth_bytes_per_s * self.spindles
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Parameters of the simulated CPU subsystem.
+
+    Queries that are ready to process data share the cores using processor
+    sharing: with ``r`` runnable queries and ``c`` cores each query progresses
+    at rate ``min(1, c / r)``.
+    """
+
+    cores: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError("cores must be >= 1")
+
+    def rate_per_query(self, runnable_queries: int) -> float:
+        """Processing rate (fraction of a dedicated core) for each runnable query."""
+        if runnable_queries <= 0:
+            return 0.0
+        return min(1.0, self.cores / runnable_queries)
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Parameters of the (active) buffer manager.
+
+    For NSM the capacity is expressed in chunks; for DSM it is expressed in
+    pages (because per-column chunk blocks have different physical sizes).
+    ``capacity_chunks`` and ``capacity_pages`` are alternative views over the
+    same quantity given ``chunk_bytes`` and ``page_bytes``.
+    """
+
+    chunk_bytes: int = 16 * MB
+    page_bytes: int = 256 * 1024
+    capacity_chunks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0 or self.page_bytes <= 0:
+            raise ConfigurationError("chunk and page sizes must be positive")
+        if self.chunk_bytes % self.page_bytes != 0:
+            raise ConfigurationError(
+                "chunk_bytes must be a multiple of page_bytes "
+                f"(got {self.chunk_bytes} / {self.page_bytes})"
+            )
+        if self.capacity_chunks < 1:
+            raise ConfigurationError("buffer capacity must be at least one chunk")
+
+    @property
+    def pages_per_chunk(self) -> int:
+        """Number of physical pages forming one NSM chunk."""
+        return self.chunk_bytes // self.page_bytes
+
+    @property
+    def capacity_pages(self) -> int:
+        """Buffer capacity expressed in pages."""
+        return self.capacity_chunks * self.pages_per_chunk
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Buffer capacity expressed in bytes."""
+        return self.capacity_chunks * self.chunk_bytes
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of a simulated system.
+
+    Combines the disk, CPU and buffer parameters plus run-level knobs such as
+    the delay between starting consecutive query streams (3 s in the paper).
+    """
+
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    buffer: BufferConfig = field(default_factory=BufferConfig)
+    stream_start_delay_s: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.stream_start_delay_s < 0:
+            raise ConfigurationError("stream_start_delay_s must be non-negative")
+
+    def chunk_load_time(self, chunk_bytes: int | None = None, sequential: bool = False) -> float:
+        """Time to load one chunk of ``chunk_bytes`` (defaults to the configured
+        chunk size) from disk, including positioning cost."""
+        size = self.buffer.chunk_bytes if chunk_bytes is None else chunk_bytes
+        seek = self.disk.sequential_seek_s if sequential else self.disk.avg_seek_s
+        return seek + size / self.disk.effective_bandwidth
+
+    def with_buffer_chunks(self, capacity_chunks: int) -> "SystemConfig":
+        """Return a copy of this configuration with a different buffer capacity."""
+        return replace(self, buffer=replace(self.buffer, capacity_chunks=capacity_chunks))
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the configuration (for reports)."""
+        return {
+            "disk_bandwidth_MBps": self.disk.effective_bandwidth / MB,
+            "disk_avg_seek_ms": self.disk.avg_seek_s * 1000.0,
+            "cpu_cores": self.cpu.cores,
+            "chunk_MB": self.buffer.chunk_bytes / MB,
+            "page_KB": self.buffer.page_bytes / 1024,
+            "buffer_chunks": self.buffer.capacity_chunks,
+            "buffer_MB": self.buffer.capacity_bytes / MB,
+            "stream_start_delay_s": self.stream_start_delay_s,
+        }
+
+
+#: The row-store (NSM/PAX) configuration of Section 5.1: 16 MB chunks,
+#: 64-chunk (1 GB) buffer pool, ~200 MB/s RAID, dual-core CPU.
+PAPER_NSM_SYSTEM = SystemConfig()
+
+#: The column-store (DSM) configuration of Section 6.3: the buffer pool is
+#: grown to 1.5 GB (96 chunk-equivalents) to allow 16 concurrent queries.
+PAPER_DSM_SYSTEM = SystemConfig(
+    buffer=BufferConfig(chunk_bytes=16 * MB, page_bytes=256 * 1024, capacity_chunks=96),
+)

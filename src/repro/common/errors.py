@@ -1,0 +1,38 @@
+"""Exception hierarchy for the Cooperative Scans reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of the library with a single ``except``
+clause while still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (bad chunk id, bad column, ...)."""
+
+
+class BufferPoolError(ReproError):
+    """A buffer-pool invariant was violated (double pin, evicting a pinned
+    chunk, over-capacity, ...)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy produced an inconsistent decision."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state
+    (e.g. deadlock with outstanding work)."""
+
+
+class EngineError(ReproError):
+    """The in-memory query engine was asked to do something invalid."""

@@ -1,0 +1,35 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (workload generation, stream
+shuffling, synthetic data) takes an explicit seed and builds its generator
+through :func:`make_rng`, so that a whole experiment is reproducible from a
+single integer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` from an integer seed.
+
+    ``None`` produces a non-deterministic generator; benchmarks always pass an
+    explicit seed.
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from one master seed.
+
+    Each derived stream is statistically independent (numpy ``spawn``), which
+    lets e.g. every query stream of a benchmark own its own generator while
+    the whole run remains reproducible.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative, got %r" % (count,))
+    master = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in master.spawn(count)]

@@ -1,0 +1,39 @@
+"""The Cooperative Scans framework (the paper's primary contribution).
+
+The two central components are:
+
+* :class:`repro.core.cscan.ScanRequest` / :class:`repro.core.cscan.CScanHandle`
+  — the CScan operator's registration with the buffer manager: which chunks
+  (and, for DSM, which columns) the query still needs, plus bookkeeping used
+  by the relevance functions (waiting time, starvation);
+* :class:`repro.core.abm.ActiveBufferManager` (NSM) and
+  :class:`repro.core.abm.DSMActiveBufferManager` (DSM) — the Active Buffer
+  Manager that owns the chunk/block pool and delegates load, consume and
+  eviction decisions to a pluggable scheduling policy.
+
+Policies live in :mod:`repro.core.policies`; ``normal``, ``attach``,
+``elevator`` and ``relevance`` are provided for both storage models and are
+instantiated by name through :func:`repro.core.policies.make_policy`.
+"""
+
+from repro.core.cscan import ScanRequest, CScanHandle
+from repro.core.ops import LoadOperation, DSMLoadOperation, ColumnLoad
+from repro.core.abm import ActiveBufferManager, DSMActiveBufferManager
+from repro.core.policies import (
+    make_policy,
+    make_dsm_policy,
+    POLICY_NAMES,
+)
+
+__all__ = [
+    "ScanRequest",
+    "CScanHandle",
+    "LoadOperation",
+    "DSMLoadOperation",
+    "ColumnLoad",
+    "ActiveBufferManager",
+    "DSMActiveBufferManager",
+    "make_policy",
+    "make_dsm_policy",
+    "POLICY_NAMES",
+]

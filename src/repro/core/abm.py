@@ -1,0 +1,445 @@
+"""The Active Buffer Manager (ABM).
+
+The ABM is the component at the heart of the Cooperative Scans framework
+(Figure 1 of the paper): it keeps track of every registered CScan operator
+and of the chunks currently buffered, and it decides — through a pluggable
+scheduling policy — which chunk to load next, on behalf of which query, and
+which chunk to evict to make room.
+
+Two variants are provided:
+
+* :class:`ActiveBufferManager` for row storage (NSM/PAX), where a chunk is a
+  fixed-size physical unit and the buffer is counted in chunk slots;
+* :class:`DSMActiveBufferManager` for column storage, where chunks are
+  logical and the buffer is counted in pages of per-column blocks.
+
+The ABM itself is time-agnostic: the driver (the discrete-event simulator in
+:mod:`repro.sim`, or the in-memory engine in :mod:`repro.engine`) passes the
+current time into every call and executes the returned load operations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bufman.slots import BlockKey, ChunkSlotPool, DSMBlockPool
+from repro.common.errors import SchedulingError
+from repro.core.cscan import CScanHandle, ScanRequest
+from repro.core.ops import ColumnLoad, DSMLoadOperation, LoadOperation
+from repro.storage.dsm import DSMTableLayout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.policies.base import DSMSchedulingPolicy, SchedulingPolicy
+
+
+class _BaseABM:
+    """State and bookkeeping shared by the NSM and DSM buffer managers."""
+
+    def __init__(self) -> None:
+        self._handles: Dict[int, CScanHandle] = {}
+        #: Number of I/O requests issued so far (NSM: one per chunk load,
+        #: DSM: one per column block).
+        self.io_requests: int = 0
+        #: Loads attributed to the query that triggered them (for the paper's
+        #: per-query-type I/O columns in Tables 2 and 3).
+        self.loads_triggered: Dict[int, int] = {}
+        #: Total number of chunk consumptions served from already-buffered
+        #: data without triggering a load for that query.
+        self.buffer_hits: int = 0
+
+    # ------------------------------------------------------------ queries
+    def register(self, request: ScanRequest, now: float) -> CScanHandle:
+        """Register a new CScan operator and return its handle."""
+        if request.query_id in self._handles:
+            raise SchedulingError(f"query {request.query_id} already registered")
+        handle = CScanHandle(request, now)
+        self._handles[request.query_id] = handle
+        self.loads_triggered.setdefault(request.query_id, 0)
+        self._policy().on_register(handle, now)
+        return handle
+
+    def unregister(self, query_id: int, now: float) -> CScanHandle:
+        """Remove a (normally finished) query from the ABM."""
+        handle = self._handle(query_id)
+        del self._handles[query_id]
+        self._policy().on_unregister(handle, now)
+        return handle
+
+    def _handle(self, query_id: int) -> CScanHandle:
+        try:
+            return self._handles[query_id]
+        except KeyError as exc:
+            raise SchedulingError(f"unknown query {query_id}") from exc
+
+    def handle(self, query_id: int) -> CScanHandle:
+        """Public accessor for a registered handle."""
+        return self._handle(query_id)
+
+    def active_handles(self) -> List[CScanHandle]:
+        """All currently registered (unfinished) scans."""
+        return list(self._handles.values())
+
+    def num_active(self) -> int:
+        """Number of currently registered scans."""
+        return len(self._handles)
+
+    def interested_handles(self, chunk: int) -> List[CScanHandle]:
+        """Handles that still need the given chunk."""
+        return [handle for handle in self._handles.values() if handle.is_interested(chunk)]
+
+    def interested_count(self, chunk: int) -> int:
+        """Number of registered scans that still need the given chunk."""
+        return sum(1 for handle in self._handles.values() if handle.is_interested(chunk))
+
+    def _policy(self):
+        raise NotImplementedError
+
+
+class ActiveBufferManager(_BaseABM):
+    """Active Buffer Manager for row storage (NSM / PAX).
+
+    Parameters
+    ----------
+    num_chunks:
+        Number of chunks of the (clustered) table the scans run against.
+    capacity_chunks:
+        Buffer pool size in chunk slots.
+    policy:
+        A :class:`repro.core.policies.base.SchedulingPolicy` instance.
+    chunk_bytes:
+        Size of a full chunk; used to compute transfer sizes.
+    chunk_sizes:
+        Optional per-chunk byte sizes (the last chunk of a table is usually
+        smaller); defaults to ``chunk_bytes`` for every chunk.
+    """
+
+    def __init__(
+        self,
+        num_chunks: int,
+        capacity_chunks: int,
+        policy: "SchedulingPolicy",
+        chunk_bytes: int,
+        chunk_sizes: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__()
+        if num_chunks < 1:
+            raise SchedulingError("table must have at least one chunk")
+        self.num_chunks = num_chunks
+        self.chunk_bytes = chunk_bytes
+        if chunk_sizes is not None and len(chunk_sizes) != num_chunks:
+            raise SchedulingError("chunk_sizes must list one size per chunk")
+        self._chunk_sizes = list(chunk_sizes) if chunk_sizes is not None else None
+        self.pool = ChunkSlotPool(capacity_chunks)
+        self.policy = policy
+        policy.bind(self)
+
+    def _policy(self) -> "SchedulingPolicy":
+        return self.policy
+
+    # ----------------------------------------------------------- inspection
+    def chunk_size(self, chunk: int) -> int:
+        """Size in bytes of one chunk."""
+        if self._chunk_sizes is not None:
+            return self._chunk_sizes[chunk]
+        return self.chunk_bytes
+
+    def available_chunks(self, handle: CScanHandle) -> List[int]:
+        """Buffered chunks the query still needs (including the current one)."""
+        return [chunk for chunk in handle.needed if chunk in self.pool]
+
+    def num_available_chunks(self, handle: CScanHandle) -> int:
+        """Count of buffered chunks the query still needs."""
+        return sum(1 for chunk in handle.needed if chunk in self.pool)
+
+    def is_starved(self, handle: CScanHandle) -> bool:
+        """The paper's ``queryStarved``: fewer than 2 available chunks."""
+        return self.num_available_chunks(handle) < 2
+
+    def is_almost_starved(self, handle: CScanHandle) -> bool:
+        """On the border of starvation: would become starved if one of its
+        available chunks were evicted (used by ``keepRelevance``)."""
+        return self.num_available_chunks(handle) <= 2
+
+    def starved_handles(self) -> List[CScanHandle]:
+        """All registered scans that are currently starved."""
+        return [handle for handle in self._handles.values() if self.is_starved(handle)]
+
+    # ------------------------------------------------------------ data path
+    def select_chunk(self, query_id: int, now: float) -> Optional[int]:
+        """Pick the next buffered chunk for a query to consume (``selectChunk``).
+
+        Returns ``None`` when no suitable chunk is buffered; the caller should
+        then block the query until :meth:`complete_load` wakes it.  When a
+        chunk is returned it is pinned on behalf of the query.
+        """
+        handle = self._handle(query_id)
+        if handle.finished:
+            return None
+        chunk = self.policy.select_chunk_to_consume(handle, now)
+        if chunk is None:
+            handle.mark_blocked(now)
+            self.policy.on_query_blocked(handle, now)
+            return None
+        if chunk not in self.pool:
+            raise SchedulingError(
+                f"policy {self.policy.name} selected non-buffered chunk {chunk}"
+            )
+        if not handle.is_interested(chunk):
+            raise SchedulingError(
+                f"policy {self.policy.name} selected chunk {chunk} "
+                f"not needed by query {query_id}"
+            )
+        self.pool.pin(chunk, now)
+        handle.start_chunk(chunk, now)
+        self.buffer_hits += 1
+        return chunk
+
+    def finish_chunk(self, query_id: int, now: float) -> int:
+        """Record that a query finished consuming its current chunk."""
+        handle = self._handle(query_id)
+        chunk = handle.finish_chunk(now)
+        self.pool.unpin(chunk, now)
+        self.policy.on_chunk_consumed(handle, chunk, now)
+        return chunk
+
+    def next_load(self, now: float) -> Optional[LoadOperation]:
+        """Decide the next disk operation (``ABM main loop`` body).
+
+        Returns ``None`` when the policy has nothing to schedule (all queries
+        satisfied for now) or when no room can be made in the buffer pool.
+        """
+        decision = self.policy.choose_load(now)
+        if decision is None:
+            return None
+        query_id, chunk = decision
+        if chunk in self.pool or self.pool.is_loading(chunk):
+            raise SchedulingError(
+                f"policy {self.policy.name} chose chunk {chunk} which is already "
+                "buffered or being loaded"
+            )
+        evicted: Tuple[int, ...] = ()
+        if not self.pool.has_free_slot():
+            victims = self.policy.choose_evictions(query_id, chunk, now)
+            if not victims:
+                return None
+            for victim in victims:
+                self.pool.evict(victim)
+            evicted = tuple(victims)
+        self.pool.start_load(chunk)
+        self.io_requests += 1
+        self.loads_triggered[query_id] = self.loads_triggered.get(query_id, 0) + 1
+        return LoadOperation(
+            chunk=chunk,
+            triggered_by=query_id,
+            num_bytes=self.chunk_size(chunk),
+            evicted=evicted,
+        )
+
+    def complete_load(self, operation: LoadOperation, now: float) -> List[int]:
+        """Mark a load as finished; returns the blocked queries it may wake."""
+        self.pool.complete_load(operation.chunk, now)
+        self.policy.on_chunk_loaded(operation.chunk, now)
+        return [
+            handle.query_id
+            for handle in self.interested_handles(operation.chunk)
+            if handle.is_blocked
+        ]
+
+
+class DSMActiveBufferManager(_BaseABM):
+    """Active Buffer Manager for column storage (DSM).
+
+    The buffer is accounted in pages.  A chunk is *ready* for a query when all
+    the column blocks the query needs are buffered; loads fetch the missing
+    column blocks of one logical chunk (possibly for a superset of the
+    triggering query's columns, as decided by the policy).
+    """
+
+    def __init__(
+        self,
+        layout: DSMTableLayout,
+        capacity_pages: int,
+        policy: "DSMSchedulingPolicy",
+    ) -> None:
+        super().__init__()
+        self.layout = layout
+        self.num_chunks = layout.num_chunks
+        self.pool = DSMBlockPool(capacity_pages)
+        self.policy = policy
+        #: Number of individual column-block transfers (an NSM-comparable
+        #: "I/O request" is one chunk-level load operation; this counter keeps
+        #: the finer per-column granularity for diagnostics).
+        self.column_block_requests: int = 0
+        self._block_pages_cache: Dict[BlockKey, int] = {}
+        policy.bind(self)
+
+    def _policy(self) -> "DSMSchedulingPolicy":
+        return self.policy
+
+    # ----------------------------------------------------------- inspection
+    def block_pages(self, chunk: int, column: str) -> int:
+        """Pages of one column block of one chunk (cached)."""
+        key = (chunk, column)
+        pages = self._block_pages_cache.get(key)
+        if pages is None:
+            pages = self.layout.block_pages(column, chunk)
+            self._block_pages_cache[key] = pages
+        return pages
+
+    def chunk_ready(self, handle: CScanHandle, chunk: int) -> bool:
+        """Whether every column the query needs is buffered for this chunk."""
+        return all(self.pool.has_block(chunk, column) for column in handle.columns)
+
+    def missing_columns(self, chunk: int, columns: Iterable[str]) -> List[str]:
+        """Columns of ``columns`` whose block for ``chunk`` is not buffered
+        and not currently being loaded."""
+        return [
+            column
+            for column in columns
+            if not self.pool.has_block(chunk, column)
+            and not self.pool.is_loading((chunk, column))
+        ]
+
+    def chunk_load_pages(self, chunk: int, columns: Iterable[str]) -> int:
+        """Pages that would have to be read to complete ``chunk`` for ``columns``."""
+        return sum(
+            self.block_pages(chunk, column)
+            for column in self.missing_columns(chunk, columns)
+        )
+
+    def available_chunks(self, handle: CScanHandle) -> List[int]:
+        """Chunks the query still needs whose required columns are all buffered."""
+        return [chunk for chunk in handle.needed if self.chunk_ready(handle, chunk)]
+
+    def num_available_chunks(self, handle: CScanHandle) -> int:
+        """Count of ready chunks for the query."""
+        return sum(1 for chunk in handle.needed if self.chunk_ready(handle, chunk))
+
+    def is_starved(self, handle: CScanHandle) -> bool:
+        """The paper's ``queryStarved``: fewer than 2 ready chunks."""
+        return self.num_available_chunks(handle) < 2
+
+    def is_almost_starved(self, handle: CScanHandle) -> bool:
+        """On the border of starvation (2 or fewer ready chunks)."""
+        return self.num_available_chunks(handle) <= 2
+
+    def starved_handles(self) -> List[CScanHandle]:
+        """All registered scans that are currently starved."""
+        return [handle for handle in self._handles.values() if self.is_starved(handle)]
+
+    def overlapping_handles(self, chunk: int, columns: Iterable[str]) -> List[CScanHandle]:
+        """Handles interested in ``chunk`` that share at least one column with
+        ``columns`` (the DSM notion of overlap from Figure 11)."""
+        wanted = set(columns)
+        return [
+            handle
+            for handle in self.interested_handles(chunk)
+            if wanted.intersection(handle.columns)
+        ]
+
+    # ------------------------------------------------------------ data path
+    def select_chunk(self, query_id: int, now: float) -> Optional[int]:
+        """Pick the next ready chunk for a query to consume, pinning its blocks."""
+        handle = self._handle(query_id)
+        if handle.finished:
+            return None
+        chunk = self.policy.select_chunk_to_consume(handle, now)
+        if chunk is None:
+            handle.mark_blocked(now)
+            self.policy.on_query_blocked(handle, now)
+            return None
+        if not handle.is_interested(chunk):
+            raise SchedulingError(
+                f"policy {self.policy.name} selected chunk {chunk} "
+                f"not needed by query {query_id}"
+            )
+        if not self.chunk_ready(handle, chunk):
+            raise SchedulingError(
+                f"policy {self.policy.name} selected chunk {chunk} whose columns "
+                f"are not all buffered for query {query_id}"
+            )
+        for column in handle.columns:
+            self.pool.pin((chunk, column), now)
+        handle.start_chunk(chunk, now)
+        self.buffer_hits += 1
+        return chunk
+
+    def finish_chunk(self, query_id: int, now: float) -> int:
+        """Record that a query finished consuming its current chunk."""
+        handle = self._handle(query_id)
+        chunk = handle.current_chunk
+        if chunk is None:
+            raise SchedulingError(f"query {query_id} is not consuming a chunk")
+        handle.finish_chunk(now)
+        for column in handle.columns:
+            self.pool.unpin((chunk, column), now)
+        self.policy.on_chunk_consumed(handle, chunk, now)
+        return chunk
+
+    def next_load(self, now: float) -> Optional[DSMLoadOperation]:
+        """Decide the next disk operation for the DSM store."""
+        decision = self.policy.choose_load(now)
+        if decision is None:
+            return None
+        query_id, chunk, columns = decision
+        missing = self.missing_columns(chunk, columns)
+        if not missing:
+            raise SchedulingError(
+                f"policy {self.policy.name} chose chunk {chunk} with no missing columns"
+            )
+        pages_needed = sum(self.block_pages(chunk, column) for column in missing)
+        evicted: Tuple[BlockKey, ...] = ()
+        if pages_needed > self.pool.free_pages():
+            victims = self.policy.choose_evictions(
+                query_id, chunk, pages_needed - self.pool.free_pages(), now
+            )
+            if victims is None:
+                return None
+            freed = 0
+            applied: List[BlockKey] = []
+            for victim in victims:
+                freed += self.pool.evict(victim)
+                applied.append(victim)
+            evicted = tuple(applied)
+            if pages_needed > self.pool.free_pages():
+                raise SchedulingError(
+                    f"policy {self.policy.name} eviction freed {freed} pages but "
+                    f"{pages_needed} are needed"
+                )
+        blocks: List[ColumnLoad] = []
+        for column in missing:
+            pages = self.block_pages(chunk, column)
+            self.pool.start_load((chunk, column), pages)
+            blocks.append(
+                ColumnLoad(
+                    column=column,
+                    pages=pages,
+                    num_bytes=pages * self.layout.page_bytes,
+                )
+            )
+        # Column loading order: smallest blocks first (Section 6.2) so that
+        # queries depending only on narrow columns can be woken earlier.
+        blocks.sort(key=lambda block: (block.pages, block.column))
+        # One chunk-level load operation counts as one I/O request (the blocks
+        # of a chunk are issued together with scatter-gather I/O), which keeps
+        # the counter comparable with the NSM experiments and with Table 3.
+        self.io_requests += 1
+        self.column_block_requests += len(blocks)
+        self.loads_triggered[query_id] = self.loads_triggered.get(query_id, 0) + 1
+        return DSMLoadOperation(
+            chunk=chunk,
+            triggered_by=query_id,
+            blocks=tuple(blocks),
+            evicted=evicted,
+        )
+
+    def complete_load(self, operation: DSMLoadOperation, now: float) -> List[int]:
+        """Mark a DSM load as finished; returns blocked queries it may wake."""
+        for block in operation.blocks:
+            self.pool.complete_load((operation.chunk, block.column), now)
+        self.policy.on_chunk_loaded(operation.chunk, now)
+        woken = []
+        for handle in self.interested_handles(operation.chunk):
+            if handle.is_blocked and self.chunk_ready(handle, operation.chunk):
+                woken.append(handle.query_id)
+        return woken

@@ -1,0 +1,89 @@
+"""Scheduling policies for the Active Buffer Manager.
+
+Four policies are provided for each storage model, mirroring Section 3 and
+Section 4 of the paper:
+
+========== =====================================================================
+``normal``    per-query sequential scans, LRU buffering, no explicit sharing
+``attach``    circular scans: new queries join the cursor of the best-overlapping
+              active scan (Microsoft SQLServer / RedBrick / Teradata style)
+``elevator``  one global, strictly sequential cursor shared by all queries
+``relevance`` the paper's contribution: dynamic chunk-level scheduling driven by
+              relevance functions (load / keep / use / query relevance)
+========== =====================================================================
+
+Use :func:`make_policy` (NSM) or :func:`make_dsm_policy` (DSM) to instantiate
+a policy by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.common.errors import ConfigurationError
+from repro.core.policies.base import DSMSchedulingPolicy, SchedulingPolicy
+from repro.core.policies.normal import NormalPolicy
+from repro.core.policies.attach import AttachPolicy
+from repro.core.policies.elevator import ElevatorPolicy
+from repro.core.policies.relevance import RelevancePolicy, RelevanceParameters
+from repro.core.policies.dsm_normal import DSMNormalPolicy
+from repro.core.policies.dsm_attach import DSMAttachPolicy
+from repro.core.policies.dsm_elevator import DSMElevatorPolicy
+from repro.core.policies.dsm_relevance import DSMRelevancePolicy
+
+#: Names of the scheduling policies, in the order the paper's tables use.
+POLICY_NAMES = ("normal", "attach", "elevator", "relevance")
+
+_NSM_POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+    "normal": NormalPolicy,
+    "attach": AttachPolicy,
+    "elevator": ElevatorPolicy,
+    "relevance": RelevancePolicy,
+}
+
+_DSM_POLICIES: Dict[str, Type[DSMSchedulingPolicy]] = {
+    "normal": DSMNormalPolicy,
+    "attach": DSMAttachPolicy,
+    "elevator": DSMElevatorPolicy,
+    "relevance": DSMRelevancePolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Instantiate an NSM scheduling policy by name."""
+    try:
+        cls = _NSM_POLICIES[name.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown NSM policy {name!r}; choose from {sorted(_NSM_POLICIES)}"
+        ) from exc
+    return cls(**kwargs)
+
+
+def make_dsm_policy(name: str, **kwargs) -> DSMSchedulingPolicy:
+    """Instantiate a DSM scheduling policy by name."""
+    try:
+        cls = _DSM_POLICIES[name.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown DSM policy {name!r}; choose from {sorted(_DSM_POLICIES)}"
+        ) from exc
+    return cls(**kwargs)
+
+
+__all__ = [
+    "SchedulingPolicy",
+    "DSMSchedulingPolicy",
+    "NormalPolicy",
+    "AttachPolicy",
+    "ElevatorPolicy",
+    "RelevancePolicy",
+    "RelevanceParameters",
+    "DSMNormalPolicy",
+    "DSMAttachPolicy",
+    "DSMElevatorPolicy",
+    "DSMRelevancePolicy",
+    "make_policy",
+    "make_dsm_policy",
+    "POLICY_NAMES",
+]

@@ -1,0 +1,70 @@
+"""The *attach* policy (circular / shared scans).
+
+When a new query enters the system it inspects the currently running scans
+and, if one of them overlaps with its own chunk set, it attaches to that
+scan's cursor position: it starts consuming at that position, continues to
+the end of its range and then wraps around to pick up the chunks it skipped
+(Section 3).  The attach target is the running query with the *largest
+remaining overlap*.  Everything else (FCFS servicing of outstanding
+requests, LRU eviction, one-chunk prefetch) behaves like *normal*, which is
+why the policy shares its machinery with :class:`NormalPolicy`.
+
+The known weaknesses reproduced here (and demonstrated by the Figure 4 and
+Table 2 benchmarks) are: queries of different speeds drift apart and
+"detach"; a query whose partner finishes keeps scanning alone even if another
+overlapping scan is active; and multi-range (zone-map) scans attach poorly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cscan import CScanHandle
+from repro.core.policies.normal import SequentialCursorPolicy
+
+
+class AttachPolicy(SequentialCursorPolicy):
+    """Circular-scan policy: new queries join the best-overlapping active scan."""
+
+    name = "attach"
+
+    def _initial_order(self, handle: CScanHandle, now: float) -> List[int]:
+        chunks = sorted(handle.request.chunks)
+        target = self._best_overlap_target(handle)
+        if target is None:
+            return chunks
+        position = self._current_position_of(target)
+        if position is None:
+            return chunks
+        # Start at the first own chunk >= the target's position, wrap around.
+        split = next((i for i, chunk in enumerate(chunks) if chunk >= position), None)
+        if split is None or split == 0:
+            return chunks
+        return chunks[split:] + chunks[:split]
+
+    def _best_overlap_target(self, handle: CScanHandle) -> Optional[CScanHandle]:
+        """The running scan with the largest remaining overlap (or ``None``)."""
+        best: Optional[CScanHandle] = None
+        best_overlap = 0
+        for other in self.abm.active_handles():
+            if other.query_id == handle.query_id or other.finished:
+                continue
+            overlap = len(handle.needed & other.needed)
+            if overlap > best_overlap:
+                best_overlap = overlap
+                best = other
+        return best
+
+    def _current_position_of(self, handle: CScanHandle) -> Optional[int]:
+        """The chunk the target query is consuming or about to consume."""
+        if handle.current_chunk is not None:
+            return handle.current_chunk
+        order = self._order.get(handle.query_id)
+        if not order:
+            return None
+        position = self._position.get(handle.query_id, 0)
+        while position < len(order) and order[position] in handle.consumed:
+            position += 1
+        if position >= len(order):
+            return None
+        return order[position]

@@ -1,0 +1,75 @@
+"""The *attach* policy for DSM (column) storage.
+
+Section 6.2: "DSM attach joins a query with most overlap, where a crude
+measure of overlap is the number of columns two queries have in common.  A
+more fine-grained measure would be to get average page-per-chunk statistics
+for the columns of a table, and use these as weights when counting
+overlapping columns."  We implement the fine-grained variant: the overlap
+between a new query and a running query is the number of common *chunks*
+multiplied by the page-weighted number of common *columns*; the new query
+attaches to the running query with the largest overlap by rotating its own
+consumption order to start at that query's cursor position.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cscan import CScanHandle
+from repro.core.policies.dsm_normal import DSMSequentialCursorPolicy
+
+
+class DSMAttachPolicy(DSMSequentialCursorPolicy):
+    """Circular scans over column storage."""
+
+    name = "attach"
+
+    def _initial_order(self, handle: CScanHandle, now: float) -> List[int]:
+        chunks = sorted(handle.request.chunks)
+        target = self._best_overlap_target(handle)
+        if target is None:
+            return chunks
+        position = self._current_position_of(target)
+        if position is None:
+            return chunks
+        split = next((i for i, chunk in enumerate(chunks) if chunk >= position), None)
+        if split is None or split == 0:
+            return chunks
+        return chunks[split:] + chunks[:split]
+
+    def _overlap_score(self, handle: CScanHandle, other: CScanHandle) -> float:
+        """Chunk overlap weighted by the physical size of shared columns."""
+        chunk_overlap = len(handle.needed & other.needed)
+        if chunk_overlap == 0:
+            return 0.0
+        shared_columns = set(handle.columns) & set(other.columns)
+        if not shared_columns:
+            return 0.0
+        layout = self.abm.layout
+        weight = sum(layout.average_pages_per_chunk(column) for column in shared_columns)
+        return chunk_overlap * weight
+
+    def _best_overlap_target(self, handle: CScanHandle) -> Optional[CScanHandle]:
+        best: Optional[CScanHandle] = None
+        best_score = 0.0
+        for other in self.abm.active_handles():
+            if other.query_id == handle.query_id or other.finished:
+                continue
+            score = self._overlap_score(handle, other)
+            if score > best_score:
+                best_score = score
+                best = other
+        return best
+
+    def _current_position_of(self, handle: CScanHandle) -> Optional[int]:
+        if handle.current_chunk is not None:
+            return handle.current_chunk
+        order = self._order.get(handle.query_id)
+        if not order:
+            return None
+        position = self._position.get(handle.query_id, 0)
+        while position < len(order) and order[position] in handle.consumed:
+            position += 1
+        if position >= len(order):
+            return None
+        return order[position]

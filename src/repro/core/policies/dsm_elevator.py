@@ -1,0 +1,95 @@
+"""The *elevator* policy for DSM (column) storage.
+
+Section 6.2: "Just like in NSM, the DSM elevator policy still enforces a
+global cursor that sequentially moves through the table.  Obviously, it only
+loads the union of all columns needed for this position by the active
+queries."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bufman.slots import BlockKey
+from repro.core.cscan import CScanHandle
+from repro.core.policies.base import DSMSchedulingPolicy
+
+
+class DSMElevatorPolicy(DSMSchedulingPolicy):
+    """Single global sequential cursor over a column store."""
+
+    name = "elevator"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursor = 0
+
+    # ------------------------------------------------------------- delivery
+    def select_chunk_to_consume(self, handle: CScanHandle, now: float) -> Optional[int]:
+        abm = self.abm
+        pool = abm.pool
+        candidates = [chunk for chunk in handle.needed if abm.chunk_ready(handle, chunk)]
+        if not candidates:
+            return None
+
+        def readiness_time(chunk: int) -> float:
+            return max(pool.block((chunk, column)).loaded_at for column in handle.columns)
+
+        return min(candidates, key=lambda chunk: (readiness_time(chunk), chunk))
+
+    # ----------------------------------------------------------------- loads
+    def choose_load(self, now: float) -> Optional[Tuple[int, int, Tuple[str, ...]]]:
+        abm = self.abm
+        num_chunks = abm.num_chunks
+        active = [handle for handle in abm.active_handles() if not handle.finished]
+        if not active:
+            return None
+        for offset in range(num_chunks):
+            chunk = (self._cursor + offset) % num_chunks
+            interested = abm.interested_handles(chunk)
+            if not interested:
+                continue
+            columns = self._union_columns(interested)
+            if not abm.missing_columns(chunk, columns):
+                continue
+            query = self._pick_beneficiary(interested)
+            self._cursor = (chunk + 1) % num_chunks
+            return query.query_id, chunk, columns
+        return None
+
+    @staticmethod
+    def _union_columns(interested: List[CScanHandle]) -> Tuple[str, ...]:
+        columns: List[str] = []
+        seen = set()
+        for handle in interested:
+            for column in handle.columns:
+                if column not in seen:
+                    seen.add(column)
+                    columns.append(column)
+        return tuple(columns)
+
+    @staticmethod
+    def _pick_beneficiary(interested: List[CScanHandle]) -> CScanHandle:
+        blocked = [handle for handle in interested if handle.is_blocked]
+        candidates = blocked or interested
+        return min(candidates, key=lambda handle: handle.last_delivery_time)
+
+    # -------------------------------------------------------------- eviction
+    def choose_evictions(
+        self, trigger_query: int, incoming_chunk: int, pages_short: int, now: float
+    ) -> Optional[List[BlockKey]]:
+        abm = self.abm
+        candidates = [
+            block
+            for block in self._evictable_blocks(protect_chunks=(incoming_chunk,))
+            if abm.interested_count(block.chunk) == 0
+        ]
+        candidates.sort(key=lambda block: block.last_used)
+        victims: List[BlockKey] = []
+        freed = 0
+        for block in candidates:
+            victims.append(block.key)
+            freed += block.pages
+            if freed >= pages_short:
+                return victims
+        return None

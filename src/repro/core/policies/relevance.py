@@ -1,0 +1,208 @@
+"""The *relevance* policy — the paper's central contribution (Figure 3).
+
+Scheduling decisions are driven by four relevance functions:
+
+``queryRelevance(q)``
+    Non-starved queries (2+ available chunks) get ``-inf`` — they have work
+    to do and need no help.  Starved queries are prioritised by how little
+    data they still need (short queries first) with an ageing term
+    ``waitingTime(q) / runningQueries()`` so long queries are not starved
+    forever.
+
+``useRelevance(c)``
+    When a query picks which available chunk to consume, it prefers the chunk
+    with the *fewest* interested queries, so that unpopular chunks are
+    consumed (and become evictable) early.
+
+``loadRelevance(c)``
+    When loading on behalf of the chosen query, prefer chunks needed by many
+    *starved* queries (weighted by ``Qmax``) and, as a tiebreak, by many
+    queries overall — maximising sharing per I/O.
+
+``keepRelevance(c)``
+    When a slot must be freed, evict the chunk with the lowest keep score:
+    chunks needed by queries on the border of starvation are protected, then
+    chunks needed by many queries.
+
+The :class:`RelevanceParameters` dataclass exposes the constants involved
+(starvation threshold, ageing, short-query priority) so the ablation
+benchmarks can switch individual ingredients off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.cscan import CScanHandle
+from repro.core.policies.base import SchedulingPolicy
+
+
+@dataclass(frozen=True)
+class RelevanceParameters:
+    """Tunable constants of the relevance policy.
+
+    The defaults follow the paper; the ablation benchmarks override them.
+    """
+
+    #: A query is starved when it has fewer than this many available chunks.
+    starvation_threshold: int = 2
+    #: A query is *almost* starved (its chunks should not be evicted) when it
+    #: has at most this many available chunks.
+    almost_starved_threshold: int = 2
+    #: Weight separating the "starved queries" term from the "all queries"
+    #: term in load/keep relevance.  Must exceed the number of concurrent
+    #: queries for the lexicographic behaviour the paper intends.
+    qmax: int = 1024
+    #: Whether shorter queries get higher priority (paper: yes).
+    prioritise_short_queries: bool = True
+    #: Whether waiting time ages a starved query's priority (paper: yes).
+    age_by_waiting_time: bool = True
+
+    def __post_init__(self) -> None:
+        if self.starvation_threshold < 1:
+            raise ValueError("starvation_threshold must be >= 1")
+        if self.almost_starved_threshold < self.starvation_threshold:
+            raise ValueError(
+                "almost_starved_threshold must be >= starvation_threshold"
+            )
+        if self.qmax < 2:
+            raise ValueError("qmax must be >= 2")
+
+
+class RelevancePolicy(SchedulingPolicy):
+    """Relevance-driven chunk scheduling for NSM storage."""
+
+    name = "relevance"
+
+    def __init__(self, parameters: RelevanceParameters | None = None) -> None:
+        super().__init__()
+        self.parameters = parameters or RelevanceParameters()
+        #: Wall-clock style accounting of time spent inside scheduling
+        #: decisions (used by the Figure 8 benchmark); the simulator reads
+        #: and resets it.
+        self.scheduling_calls: int = 0
+
+    # -------------------------------------------------------- starvation
+    def _available_count(self, handle: CScanHandle) -> int:
+        return self.abm.num_available_chunks(handle)
+
+    def query_starved(self, handle: CScanHandle) -> bool:
+        """``queryStarved`` from Figure 3 (with a configurable threshold)."""
+        return self._available_count(handle) < self.parameters.starvation_threshold
+
+    def query_almost_starved(self, handle: CScanHandle) -> bool:
+        """Whether evicting one of the query's chunks could starve it."""
+        return self._available_count(handle) <= self.parameters.almost_starved_threshold
+
+    # ------------------------------------------------- relevance functions
+    def query_relevance(self, handle: CScanHandle, now: float) -> float:
+        """``queryRelevance``: priority of scheduling a load for this query."""
+        if not self.query_starved(handle):
+            return -math.inf
+        score = 0.0
+        if self.parameters.prioritise_short_queries:
+            score -= handle.chunks_needed
+        if self.parameters.age_by_waiting_time:
+            score += handle.waiting_time(now) / max(1, self.abm.num_active())
+        return score
+
+    def use_relevance(self, chunk: int) -> float:
+        """``useRelevance``: which available chunk a query should consume."""
+        return self.parameters.qmax - self.abm.interested_count(chunk)
+
+    def load_relevance(self, chunk: int) -> float:
+        """``loadRelevance``: which chunk to load for the chosen query."""
+        interested = self.abm.interested_handles(chunk)
+        starved = sum(1 for handle in interested if self.query_starved(handle))
+        return starved * self.parameters.qmax + len(interested)
+
+    def keep_relevance(self, chunk: int) -> float:
+        """``keepRelevance``: how valuable a buffered chunk is to keep."""
+        interested = self.abm.interested_handles(chunk)
+        almost_starved = sum(
+            1 for handle in interested if self.query_almost_starved(handle)
+        )
+        return almost_starved * self.parameters.qmax + len(interested)
+
+    # ------------------------------------------------------------- delivery
+    def select_chunk_to_consume(self, handle: CScanHandle, now: float) -> Optional[int]:
+        self.scheduling_calls += 1
+        pool = self.abm.pool
+        best_chunk: Optional[int] = None
+        best_score = -math.inf
+        for chunk in handle.needed:
+            if chunk not in pool:
+                continue
+            score = self.use_relevance(chunk)
+            if score > best_score or (score == best_score and best_chunk is not None and chunk < best_chunk):
+                best_score = score
+                best_chunk = chunk
+        return best_chunk
+
+    # ----------------------------------------------------------------- loads
+    def choose_load(self, now: float) -> Optional[Tuple[int, int]]:
+        self.scheduling_calls += 1
+        abm = self.abm
+        starved = [
+            handle
+            for handle in abm.active_handles()
+            if not handle.finished and self.query_starved(handle)
+        ]
+        if not starved:
+            return None
+        starved.sort(key=lambda handle: self.query_relevance(handle, now), reverse=True)
+        for handle in starved:
+            chunk = self._choose_chunk_to_load(handle)
+            if chunk is not None:
+                return handle.query_id, chunk
+        return None
+
+    def _choose_chunk_to_load(self, handle: CScanHandle) -> Optional[int]:
+        """``chooseChunkToLoad``: the not-yet-buffered chunk with the highest
+        load relevance among those the query still needs."""
+        pool = self.abm.pool
+        best_chunk: Optional[int] = None
+        best_score = -math.inf
+        for chunk in handle.needed:
+            if chunk in pool or pool.is_loading(chunk):
+                continue
+            score = self.load_relevance(chunk)
+            if score > best_score or (score == best_score and best_chunk is not None and chunk < best_chunk):
+                best_score = score
+                best_chunk = chunk
+        return best_chunk
+
+    # -------------------------------------------------------------- eviction
+    def choose_evictions(
+        self, trigger_query: int, incoming_chunk: int, now: float
+    ) -> Optional[List[int]]:
+        self.scheduling_calls += 1
+        abm = self.abm
+        pool = abm.pool
+        trigger = abm.handle(trigger_query)
+
+        def eligible(chunk: int, protect_starved: bool) -> bool:
+            if trigger.is_interested(chunk):
+                return False
+            if protect_starved and any(
+                self.query_starved(handle) for handle in abm.interested_handles(chunk)
+            ):
+                return False
+            return True
+
+        # First pass: the paper's strict rule (never evict chunks useful to a
+        # starved query).  Second pass: relax that protection, because when
+        # every evictable chunk is useful to some starved query, evicting the
+        # least relevant one still beats idling the disk.
+        for protect_starved in (True, False):
+            candidates = [
+                chunk
+                for chunk in pool.unpinned_chunks()
+                if eligible(chunk, protect_starved)
+            ]
+            if candidates:
+                victim = min(candidates, key=lambda chunk: (self.keep_relevance(chunk), chunk))
+                return [victim]
+        return None

@@ -1,0 +1,59 @@
+"""Metrics, analytic models and report formatting.
+
+* :mod:`repro.metrics.analytic` -- the closed-form models of Sections 2-3 and
+  6.1: the buffer-reuse probability of Equation 1 / Figure 2 (plus a
+  Monte-Carlo cross-check), the expected I/O counts of the normal and
+  elevator policies, and the NSM/DSM block-reuse probabilities;
+* :mod:`repro.metrics.stats` -- aggregation of simulation results into the
+  system- and per-query statistics reported in Tables 2 and 3;
+* :mod:`repro.metrics.report` -- plain-text rendering of those statistics in
+  the paper's table layout (used by benchmarks and examples);
+* :mod:`repro.metrics.reference` -- the published TPC-H configurations of
+  Table 1 and the derived ratios quoted in Section 2.
+"""
+
+from repro.metrics.analytic import (
+    buffer_reuse_probability,
+    buffer_reuse_probability_curve,
+    monte_carlo_reuse_probability,
+    expected_ios_normal,
+    expected_ios_elevator,
+    nsm_block_reuse_probability,
+    dsm_block_reuse_probability,
+)
+from repro.metrics.stats import (
+    QueryTypeStats,
+    SystemStats,
+    PolicyComparison,
+    summarise_run,
+    per_query_type_stats,
+    compare_runs,
+)
+from repro.metrics.report import (
+    format_table,
+    render_policy_comparison,
+    render_query_table,
+)
+from repro.metrics.reference import TPCH_2006_RESULTS, TpchSystem, storage_cost_share
+
+__all__ = [
+    "buffer_reuse_probability",
+    "buffer_reuse_probability_curve",
+    "monte_carlo_reuse_probability",
+    "expected_ios_normal",
+    "expected_ios_elevator",
+    "nsm_block_reuse_probability",
+    "dsm_block_reuse_probability",
+    "QueryTypeStats",
+    "SystemStats",
+    "PolicyComparison",
+    "summarise_run",
+    "per_query_type_stats",
+    "compare_runs",
+    "format_table",
+    "render_policy_comparison",
+    "render_query_table",
+    "TPCH_2006_RESULTS",
+    "TpchSystem",
+    "storage_cost_share",
+]

@@ -1,0 +1,151 @@
+"""Closed-form models from the paper.
+
+These are the analytic results the paper uses to motivate Cooperative Scans:
+
+* Equation 1 / Figure 2 — the probability that a randomly-filled buffer pool
+  contains at least one chunk useful to a query (high even for small buffers
+  and selective queries, which is the sharing opportunity the normal policy
+  wastes);
+* the expected number of I/Os a *normal* (round-robin, no reuse) system
+  performs before a new query finishes: ``C_new + sum(min(C_new, C_q))``;
+* the worst-case I/Os for *elevator*: ``min(C_T, C_new + sum(C_q))``;
+* the NSM and DSM block-reuse probabilities of Section 6.1 (DSM divides the
+  NSM probability by the column-overlap probability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+
+
+def buffer_reuse_probability(table_chunks: int, query_chunks: int, buffer_chunks: int) -> float:
+    """Equation 1: probability that a randomly-filled buffer pool of
+    ``buffer_chunks`` chunks contains at least one of the ``query_chunks``
+    chunks a query needs, out of a table of ``table_chunks`` chunks.
+
+    ``P_reuse = 1 - prod_{i=0}^{C_B - 1} (C_T - C_Q - i) / (C_T - i)``
+    """
+    if table_chunks <= 0:
+        raise ConfigurationError("table_chunks must be positive")
+    if not 0 <= query_chunks <= table_chunks:
+        raise ConfigurationError("query_chunks must be within [0, table_chunks]")
+    if not 0 <= buffer_chunks <= table_chunks:
+        raise ConfigurationError("buffer_chunks must be within [0, table_chunks]")
+    probability_none = 1.0
+    for i in range(buffer_chunks):
+        numerator = table_chunks - query_chunks - i
+        denominator = table_chunks - i
+        if denominator <= 0:
+            break
+        if numerator <= 0:
+            probability_none = 0.0
+            break
+        probability_none *= numerator / denominator
+    return 1.0 - probability_none
+
+
+def buffer_reuse_probability_curve(
+    table_chunks: int,
+    buffer_fractions: Sequence[float],
+    query_demands: Sequence[int],
+) -> Dict[float, List[Tuple[int, float]]]:
+    """The full Figure 2 data: one curve per buffered fraction.
+
+    Returns ``{buffer_fraction: [(query_chunks, probability), ...]}``.
+    """
+    curves: Dict[float, List[Tuple[int, float]]] = {}
+    for fraction in buffer_fractions:
+        buffer_chunks = max(0, int(round(fraction * table_chunks)))
+        curve = [
+            (demand, buffer_reuse_probability(table_chunks, demand, buffer_chunks))
+            for demand in query_demands
+        ]
+        curves[fraction] = curve
+    return curves
+
+
+def monte_carlo_reuse_probability(
+    table_chunks: int,
+    query_chunks: int,
+    buffer_chunks: int,
+    trials: int = 20_000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of Equation 1 (used to validate the formula)."""
+    if trials <= 0:
+        raise ConfigurationError("trials must be positive")
+    rng = make_rng(seed)
+    if query_chunks == 0 or buffer_chunks == 0:
+        return 0.0
+    hits = 0
+    table = np.arange(table_chunks)
+    for _ in range(trials):
+        buffered = rng.choice(table, size=buffer_chunks, replace=False)
+        wanted = rng.choice(table, size=query_chunks, replace=False)
+        if np.intersect1d(buffered, wanted, assume_unique=True).size > 0:
+            hits += 1
+    return hits / trials
+
+
+def expected_ios_normal(new_query_chunks: int, running_query_chunks: Iterable[int]) -> int:
+    """Section 3: expected I/Os in the system until a fresh query finishes
+    under the *normal* policy (round-robin, no reuse)."""
+    if new_query_chunks < 0:
+        raise ConfigurationError("chunk counts must be non-negative")
+    return new_query_chunks + sum(
+        min(new_query_chunks, chunks) for chunks in running_query_chunks
+    )
+
+
+def expected_ios_elevator(
+    table_chunks: int, new_query_chunks: int, running_query_chunks: Iterable[int]
+) -> int:
+    """Section 3: worst-case I/Os until a fresh query finishes under *elevator*."""
+    if table_chunks <= 0:
+        raise ConfigurationError("table_chunks must be positive")
+    return min(table_chunks, new_query_chunks + sum(running_query_chunks))
+
+
+def nsm_block_reuse_probability(other_query_tuples: int, table_tuples: int) -> float:
+    """Section 6.1: probability that a block fetched for one query is also
+    used by another query reading ``other_query_tuples`` tuples (NSM)."""
+    if table_tuples <= 0:
+        raise ConfigurationError("table_tuples must be positive")
+    return min(1.0, other_query_tuples / table_tuples)
+
+
+def dsm_block_reuse_probability(
+    other_query_tuples: int, table_tuples: int, column_overlap_probability: float
+) -> float:
+    """Section 6.1: the DSM reuse probability adds the column-overlap factor."""
+    if not 0.0 <= column_overlap_probability <= 1.0:
+        raise ConfigurationError("column_overlap_probability must be in [0, 1]")
+    return (
+        nsm_block_reuse_probability(other_query_tuples, table_tuples)
+        * column_overlap_probability
+    )
+
+
+def average_query_latency_example() -> Dict[str, float]:
+    """The introduction's worked example: Q1 needs 30 chunks, Q2 needs 10.
+
+    Returns the average waiting times under round-robin (normal), the good
+    and bad elevator orders, and the optimal schedule — the numbers quoted in
+    Section 1 (30, 25, 35 and 25 chunks of waiting respectively).
+    """
+    q1, q2 = 30, 10
+    round_robin = ((2 * q2) + (q1 + q2)) / 2.0
+    elevator_good = (q2 + (q1 + q2)) / 2.0
+    elevator_bad = ((q1 + q2) + q1) / 2.0
+    optimal = elevator_good
+    return {
+        "normal_round_robin": round_robin,
+        "elevator_good_order": elevator_good,
+        "elevator_bad_order": elevator_bad,
+        "optimal": optimal,
+    }

@@ -1,0 +1,80 @@
+"""The published 2006 TPC-H 100 GB configurations of Table 1.
+
+Table 1 is not an experiment but published benchmark data the paper uses to
+motivate its hardware-trend argument (Section 2): systems buy hundreds of
+barely-filled disks purely for random-I/O arms, and the I/O subsystem
+dominates system cost.  We reproduce the table as a reference dataset plus
+the derived quantities quoted in the text (average disk count, average total
+storage, storage cost share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class TpchSystem:
+    """One row of Table 1 (a published TPC-H 100 GB result from 2006)."""
+
+    cpus: str
+    ram_gb: int
+    disks: int
+    total_storage_tb: float
+    storage_cost_share: float
+    throughput_single: float
+    throughput_5way: float
+
+
+#: The four most recent 2006 TPC-H 100 GB submissions (Table 1).
+TPCH_2006_RESULTS: Tuple[TpchSystem, ...] = (
+    TpchSystem("4x Xeon 3.0GHz dual-core", 64, 124, 4.4, 0.47, 19497.0, 10404.0),
+    TpchSystem("2x Opteron 2GHz", 48, 336, 6.0, 0.80, 12941.0, 11531.0),
+    TpchSystem("4x Xeon 3.0GHz dual-core", 32, 92, 3.2, 0.67, 11423.0, 6768.0),
+    TpchSystem("2x Power5 1.65GHz dual-core", 32, 45, 1.6, 0.65, 8415.0, 4802.0),
+)
+
+
+def average_disk_count(systems: Tuple[TpchSystem, ...] = TPCH_2006_RESULTS) -> float:
+    """Average number of disks (the paper quotes ~150)."""
+    return sum(system.disks for system in systems) / len(systems)
+
+
+def average_total_storage_tb(
+    systems: Tuple[TpchSystem, ...] = TPCH_2006_RESULTS,
+) -> float:
+    """Average total storage in TB (the paper quotes 3.8 TB)."""
+    return sum(system.total_storage_tb for system in systems) / len(systems)
+
+
+def storage_cost_share(
+    systems: Tuple[TpchSystem, ...] = TPCH_2006_RESULTS,
+) -> float:
+    """Average fraction of system cost spent on storage (paper: > 2/3 for
+    some systems; the average across the four rows is ~65 %)."""
+    return sum(system.storage_cost_share for system in systems) / len(systems)
+
+
+def concurrency_slowdown(
+    systems: Tuple[TpchSystem, ...] = TPCH_2006_RESULTS,
+) -> List[float]:
+    """Per-system ratio of single-stream to 5-way throughput.
+
+    Values well above 1 show how much concurrent streams hurt, which is the
+    paper's argument for why many disks are needed in the 5-stream scenario.
+    """
+    return [
+        system.throughput_single / system.throughput_5way for system in systems
+    ]
+
+
+def disk_fill_fraction(
+    database_size_gb: float = 100.0,
+    systems: Tuple[TpchSystem, ...] = TPCH_2006_RESULTS,
+) -> List[float]:
+    """Fraction of the total storage actually occupied by the database
+    (the paper notes all these disks are less than 10 % full)."""
+    return [
+        database_size_gb / (system.total_storage_tb * 1024.0) for system in systems
+    ]

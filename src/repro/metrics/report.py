@@ -1,0 +1,133 @@
+"""Plain-text rendering of experiment results in the paper's table layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.metrics.stats import PolicyComparison, QueryTypeStats, SystemStats
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple aligned text table."""
+    columns = len(headers)
+    normalised_rows: List[List[str]] = []
+    for row in rows:
+        cells = [_format_cell(cell) for cell in row]
+        if len(cells) != columns:
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {columns} columns"
+            )
+        normalised_rows.append(cells)
+    widths = [len(str(header)) for header in headers]
+    for row in normalised_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in normalised_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_policy_comparison(
+    comparison: PolicyComparison,
+    policies: Optional[Sequence[str]] = None,
+    title: str = "System statistics",
+) -> str:
+    """Render the system-statistics block of Tables 2/3."""
+    stats = comparison.system_stats()
+    names = list(policies) if policies is not None else sorted(stats)
+    rows = []
+    metrics = (
+        ("Avg. stream time", "avg_stream_time"),
+        ("Avg. normalized latency", "avg_normalized_latency"),
+        ("Total time", "total_time"),
+        ("CPU use", "cpu_use"),
+        ("I/O requests", "io_requests"),
+    )
+    for label, key in metrics:
+        row = [label]
+        for policy in names:
+            value = stats[policy].as_dict()[key]
+            if key == "cpu_use":
+                row.append(f"{value * 100:.1f}%")
+            elif key == "io_requests":
+                row.append(int(value))
+            else:
+                row.append(value)
+        rows.append(row)
+    return format_table(["metric"] + list(names), rows, title=title)
+
+
+def render_query_table(
+    comparison: PolicyComparison,
+    policies: Optional[Sequence[str]] = None,
+    title: str = "Query statistics",
+) -> str:
+    """Render the per-query-type block of Tables 2/3."""
+    query_stats = comparison.query_stats()
+    names = list(policies) if policies is not None else sorted(query_stats)
+    all_types: List[str] = []
+    for policy in names:
+        for entry in query_stats[policy]:
+            if entry.name not in all_types:
+                all_types.append(entry.name)
+    all_types.sort()
+    headers = ["query", "count", "standalone"]
+    for policy in names:
+        headers.extend([f"{policy}:lat", f"{policy}:norm", f"{policy}:IOs"])
+    rows = []
+    for query_name in all_types:
+        per_policy: Dict[str, QueryTypeStats] = {}
+        for policy in names:
+            for entry in query_stats[policy]:
+                if entry.name == query_name:
+                    per_policy[policy] = entry
+        first = next(iter(per_policy.values()))
+        row: List[object] = [query_name, first.count, first.standalone_time]
+        for policy in names:
+            entry = per_policy.get(policy)
+            if entry is None:
+                row.extend(["-", "-", "-"])
+            else:
+                row.extend(
+                    [entry.avg_latency, entry.avg_normalized_latency, round(entry.avg_ios, 1)]
+                )
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def render_relative_scatter(
+    comparison: PolicyComparison,
+    reference_policy: str = "relevance",
+    title: str = "Relative to relevance (Figure 5 view)",
+) -> str:
+    """Render the Figure 5 ratios (stream time and latency vs. relevance)."""
+    relative = comparison.relative_to(reference_policy)
+    rows = [
+        [policy, values["stream_time_ratio"], values["latency_ratio"]]
+        for policy, values in sorted(relative.items())
+    ]
+    return format_table(
+        ["policy", "stream time ratio", "norm. latency ratio"], rows, title=title
+    )

@@ -1,0 +1,34 @@
+"""Discrete-event simulation of concurrent scans.
+
+The simulator drives an Active Buffer Manager with a workload of query
+streams, modelling:
+
+* a single disk that serves one chunk-granularity load at a time
+  (seek + transfer, :class:`repro.disk.DiskModel`),
+* a CPU with a fixed number of cores shared by all queries that currently
+  have data to process (processor sharing),
+* query streams that execute their queries sequentially and start with a
+  configurable delay between streams (3 s in the paper).
+
+The main entry points are :func:`repro.sim.runner.run_simulation` and the
+:func:`repro.sim.setup.make_nsm_abm` / :func:`repro.sim.setup.make_dsm_abm`
+factories; parameter sweeps used by the Figure 6/7 benchmarks live in
+:mod:`repro.sim.sweeps`.
+"""
+
+from repro.sim.results import QueryResult, StreamResult, RunResult
+from repro.sim.runner import ScanSimulator, run_simulation, run_standalone
+from repro.sim.setup import make_nsm_abm, make_dsm_abm, nsm_abm_factory, dsm_abm_factory
+
+__all__ = [
+    "QueryResult",
+    "StreamResult",
+    "RunResult",
+    "ScanSimulator",
+    "run_simulation",
+    "run_standalone",
+    "make_nsm_abm",
+    "make_dsm_abm",
+    "nsm_abm_factory",
+    "dsm_abm_factory",
+]

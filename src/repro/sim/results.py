@@ -1,0 +1,117 @@
+"""Result records produced by a simulation run.
+
+These dataclasses carry exactly the quantities the paper reports:
+per-query latency and I/O counts (Tables 2 and 3), per-stream running time
+(the "avg. stream time" throughput metric), total time, CPU utilisation and
+the number of I/O requests, plus the raw I/O trace for Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.disk.trace import IOTrace
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one executed query."""
+
+    query_id: int
+    name: str
+    stream: int
+    arrival_time: float
+    finish_time: float
+    chunks: int
+    cpu_seconds: float
+    loads_triggered: int
+    #: Chunks in the order the ABM delivered them to the query; out-of-order
+    #: for the relevance policy, and usable to replay the same delivery in the
+    #: in-memory engine (CScan).
+    delivery_order: tuple = ()
+
+    @property
+    def latency(self) -> float:
+        """Wall-clock latency of the query (arrival to completion)."""
+        return self.finish_time - self.arrival_time
+
+    def normalized_latency(self, standalone: float) -> float:
+        """Latency divided by the query's cold standalone running time."""
+        if standalone <= 0:
+            return float("inf")
+        return self.latency / standalone
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one query stream (queries executed back to back)."""
+
+    stream: int
+    start_time: float
+    finish_time: float
+    query_names: List[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Running time of the stream."""
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full simulation run."""
+
+    policy: str
+    total_time: float
+    io_requests: int
+    bytes_read: int
+    cpu_utilisation: float
+    queries: List[QueryResult]
+    streams: List[StreamResult]
+    trace: Optional[IOTrace] = None
+    scheduling_seconds: float = 0.0
+    num_chunks: int = 0
+    config: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def average_stream_time(self) -> float:
+        """The paper's throughput metric: mean stream running time."""
+        if not self.streams:
+            return 0.0
+        return sum(stream.duration for stream in self.streams) / len(self.streams)
+
+    @property
+    def average_latency(self) -> float:
+        """Mean query latency over every executed query."""
+        if not self.queries:
+            return 0.0
+        return sum(query.latency for query in self.queries) / len(self.queries)
+
+    def average_normalized_latency(self, standalone_times: Dict[str, float]) -> float:
+        """The paper's latency metric: mean of per-query latency divided by
+        the query's cold standalone time (grouped by query name)."""
+        if not self.queries:
+            return 0.0
+        total = 0.0
+        for query in self.queries:
+            standalone = standalone_times.get(query.name, 0.0)
+            total += query.normalized_latency(standalone)
+        return total / len(self.queries)
+
+    def queries_by_name(self) -> Dict[str, List[QueryResult]]:
+        """Group query results by query name (e.g. ``"F-10"``)."""
+        grouped: Dict[str, List[QueryResult]] = {}
+        for query in self.queries:
+            grouped.setdefault(query.name, []).append(query)
+        return grouped
+
+    @property
+    def scheduling_fraction(self) -> float:
+        """Fraction of the (simulated) execution time spent making scheduling
+        decisions (measured in real seconds of the scheduler code, which is
+        what Figure 8 of the paper reports)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.scheduling_seconds / self.total_time

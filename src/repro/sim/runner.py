@@ -1,0 +1,355 @@
+"""The discrete-event scan simulator.
+
+The simulator owns three resources:
+
+* the **disk**: a single device serving one chunk-granularity load operation
+  at a time, timed by :class:`repro.disk.DiskModel`;
+* the **CPU**: ``cores`` processors shared (processor sharing) by every query
+  that currently has a chunk to crunch;
+* the **ABM**: the Active Buffer Manager under test, which decides what the
+  disk does and which chunk each query consumes next.
+
+Queries arrive in *streams*: each stream executes its queries back to back
+and stream ``i`` starts ``i * stream_start_delay_s`` seconds after the run
+begins (the paper uses a 3 second delay, Section 5.1).
+
+The simulation is deterministic: given the same workload, configuration and
+policy it always produces the same result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.core.abm import ActiveBufferManager, DSMActiveBufferManager
+from repro.core.cscan import ScanRequest
+from repro.core.ops import DSMLoadOperation, LoadOperation
+from repro.disk.model import DiskModel
+from repro.disk.request import IORequest, RequestKind
+from repro.disk.trace import IOTrace
+from repro.sim.results import QueryResult, RunResult, StreamResult
+
+AnyABM = Union[ActiveBufferManager, DSMActiveBufferManager]
+AnyLoadOp = Union[LoadOperation, DSMLoadOperation]
+
+_EPS = 1e-9
+_MAX_EVENTS = 20_000_000
+
+
+@dataclass
+class _QueryRun:
+    """Simulator-side bookkeeping of one query instance."""
+
+    spec: ScanRequest
+    stream: int
+    arrival_time: float = 0.0
+    remaining_work: float = 0.0
+    processing: bool = False
+    blocked: bool = False
+    done: bool = False
+
+
+class ScanSimulator:
+    """Simulates a workload of concurrent scans against one ABM instance."""
+
+    def __init__(
+        self,
+        streams: Sequence[Sequence[ScanRequest]],
+        config: SystemConfig,
+        abm: AnyABM,
+        record_trace: bool = False,
+    ) -> None:
+        if not streams or all(len(stream) == 0 for stream in streams):
+            raise SimulationError("workload contains no queries")
+        seen_ids: Set[int] = set()
+        for stream in streams:
+            for spec in stream:
+                if spec.query_id in seen_ids:
+                    raise SimulationError(
+                        f"duplicate query id {spec.query_id} in workload"
+                    )
+                seen_ids.add(spec.query_id)
+        self._streams = [list(stream) for stream in streams]
+        self._config = config
+        self._abm = abm
+        self._disk = DiskModel(config.disk)
+        self._trace = IOTrace() if record_trace else None
+
+        self._now = 0.0
+        self._queries: Dict[int, _QueryRun] = {}
+        self._running: Dict[int, _QueryRun] = {}
+        self._blocked: Set[int] = set()
+        self._stream_cursor: List[int] = [0] * len(self._streams)
+        self._stream_start: List[Optional[float]] = [None] * len(self._streams)
+        self._stream_results: List[Optional[StreamResult]] = [None] * len(self._streams)
+        self._arrivals: List[Tuple[float, int]] = sorted(
+            (index * config.stream_start_delay_s, index)
+            for index, stream in enumerate(self._streams)
+            if stream
+        )
+        self._inflight: Optional[AnyLoadOp] = None
+        self._disk_done: float = 0.0
+        self._query_results: List[QueryResult] = []
+        self._finished = 0
+        self._total_queries = sum(len(stream) for stream in self._streams)
+        self._cpu_busy_area = 0.0
+        self._scheduling_seconds = 0.0
+
+    # ------------------------------------------------------------------ API
+    def run(self) -> RunResult:
+        """Execute the workload to completion and return the run result."""
+        events = 0
+        while self._finished < self._total_queries:
+            events += 1
+            if events > _MAX_EVENTS:
+                raise SimulationError(
+                    f"simulation exceeded {_MAX_EVENTS} events; "
+                    "likely a scheduling livelock"
+                )
+            self._kick_disk()
+            next_time = self._next_event_time()
+            if next_time is None:
+                raise SimulationError(
+                    "simulation deadlock: "
+                    f"{len(self._blocked)} blocked queries, disk idle, "
+                    f"{self._total_queries - self._finished} queries unfinished "
+                    f"(policy {self._abm.policy.name!r})"
+                )
+            self._advance_to(next_time)
+            self._process_disk_completion()
+            self._process_cpu_completions()
+            self._process_arrivals()
+        return self._build_result()
+
+    # ------------------------------------------------------------ event core
+    def _next_event_time(self) -> Optional[float]:
+        candidates: List[float] = []
+        if self._arrivals:
+            candidates.append(self._arrivals[0][0])
+        if self._inflight is not None:
+            candidates.append(self._disk_done)
+        if self._running:
+            rate = self._config.cpu.rate_per_query(len(self._running))
+            shortest = min(run.remaining_work for run in self._running.values())
+            candidates.append(self._now + max(0.0, shortest) / rate)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _advance_to(self, next_time: float) -> None:
+        dt = max(0.0, next_time - self._now)
+        if dt > 0 and self._running:
+            rate = self._config.cpu.rate_per_query(len(self._running))
+            for run in self._running.values():
+                run.remaining_work -= dt * rate
+            self._cpu_busy_area += min(len(self._running), self._config.cpu.cores) * dt
+        self._now = next_time
+
+    def _process_disk_completion(self) -> None:
+        if self._inflight is None or self._disk_done > self._now + _EPS:
+            return
+        operation = self._inflight
+        self._inflight = None
+        if self._trace is not None:
+            if isinstance(operation, DSMLoadOperation):
+                for block in operation.blocks:
+                    self._trace.record(
+                        time=self._now,
+                        chunk=operation.chunk,
+                        num_bytes=block.num_bytes,
+                        triggered_by=operation.triggered_by,
+                        column=block.column,
+                    )
+            else:
+                self._trace.record(
+                    time=self._now,
+                    chunk=operation.chunk,
+                    num_bytes=operation.num_bytes,
+                    triggered_by=operation.triggered_by,
+                )
+        woken = self._timed(lambda: self._abm.complete_load(operation, self._now))
+        for query_id in woken:
+            if query_id in self._blocked:
+                self._dispatch(query_id)
+
+    def _process_cpu_completions(self) -> None:
+        completed = [
+            query_id
+            for query_id, run in self._running.items()
+            if run.remaining_work <= _EPS
+        ]
+        for query_id in completed:
+            self._finish_chunk(query_id)
+
+    def _process_arrivals(self) -> None:
+        while self._arrivals and self._arrivals[0][0] <= self._now + _EPS:
+            _, stream_index = self._arrivals.pop(0)
+            self._admit_next(stream_index)
+
+    # -------------------------------------------------------------- plumbing
+    def _timed(self, call: Callable):
+        started = time.perf_counter()
+        try:
+            return call()
+        finally:
+            self._scheduling_seconds += time.perf_counter() - started
+
+    def _kick_disk(self) -> None:
+        if self._inflight is not None:
+            return
+        operation = self._timed(lambda: self._abm.next_load(self._now))
+        if operation is None:
+            return
+        if isinstance(operation, DSMLoadOperation):
+            # Each column block is a separate physical request (different
+            # column files), so each pays its own positioning cost.
+            duration = 0.0
+            for block in operation.blocks:
+                duration += self._disk.serve(
+                    IORequest(
+                        chunk=operation.chunk,
+                        num_bytes=block.num_bytes,
+                        kind=RequestKind.DSM_COLUMN_BLOCK,
+                        column=block.column,
+                        triggered_by=operation.triggered_by,
+                    )
+                )
+        else:
+            duration = self._disk.serve(
+                IORequest(
+                    chunk=operation.chunk,
+                    num_bytes=operation.num_bytes,
+                    kind=RequestKind.NSM_CHUNK,
+                    triggered_by=operation.triggered_by,
+                )
+            )
+        self._inflight = operation
+        self._disk_done = self._now + duration
+
+    def _admit_next(self, stream_index: int) -> None:
+        cursor = self._stream_cursor[stream_index]
+        stream = self._streams[stream_index]
+        if cursor >= len(stream):
+            return
+        spec = stream[cursor]
+        self._stream_cursor[stream_index] = cursor + 1
+        if self._stream_start[stream_index] is None:
+            self._stream_start[stream_index] = self._now
+        run = _QueryRun(spec=spec, stream=stream_index, arrival_time=self._now)
+        self._queries[spec.query_id] = run
+        self._timed(lambda: self._abm.register(spec, self._now))
+        self._dispatch(spec.query_id)
+
+    def _dispatch(self, query_id: int) -> None:
+        run = self._queries[query_id]
+        chunk = self._timed(lambda: self._abm.select_chunk(query_id, self._now))
+        if chunk is None:
+            run.blocked = True
+            run.processing = False
+            self._blocked.add(query_id)
+            self._running.pop(query_id, None)
+            return
+        run.blocked = False
+        run.processing = True
+        run.remaining_work = max(_EPS, run.spec.cpu_per_chunk)
+        self._blocked.discard(query_id)
+        self._running[query_id] = run
+
+    def _finish_chunk(self, query_id: int) -> None:
+        run = self._running.pop(query_id)
+        run.processing = False
+        self._timed(lambda: self._abm.finish_chunk(query_id, self._now))
+        handle = self._abm.handle(query_id)
+        if handle.finished:
+            self._complete_query(query_id, run)
+        else:
+            self._dispatch(query_id)
+
+    def _complete_query(self, query_id: int, run: _QueryRun) -> None:
+        handle = self._abm.handle(query_id)
+        delivery_order = tuple(handle.delivery_order)
+        self._timed(lambda: self._abm.unregister(query_id, self._now))
+        spec = run.spec
+        self._query_results.append(
+            QueryResult(
+                query_id=query_id,
+                name=spec.name,
+                stream=run.stream,
+                arrival_time=run.arrival_time,
+                finish_time=self._now,
+                chunks=spec.num_chunks,
+                cpu_seconds=spec.cpu_per_chunk * spec.num_chunks,
+                loads_triggered=self._abm.loads_triggered.get(query_id, 0),
+                delivery_order=delivery_order,
+            )
+        )
+        run.done = True
+        self._finished += 1
+        stream_index = run.stream
+        if self._stream_cursor[stream_index] < len(self._streams[stream_index]):
+            self._admit_next(stream_index)
+        else:
+            start = self._stream_start[stream_index] or 0.0
+            self._stream_results[stream_index] = StreamResult(
+                stream=stream_index,
+                start_time=start,
+                finish_time=self._now,
+                query_names=[spec.name for spec in self._streams[stream_index]],
+            )
+
+    # ---------------------------------------------------------------- result
+    def _build_result(self) -> RunResult:
+        total_time = self._now
+        cpu_utilisation = 0.0
+        if total_time > 0:
+            cpu_utilisation = self._cpu_busy_area / (
+                self._config.cpu.cores * total_time
+            )
+        streams = [result for result in self._stream_results if result is not None]
+        return RunResult(
+            policy=self._abm.policy.name,
+            total_time=total_time,
+            io_requests=self._abm.io_requests,
+            bytes_read=self._disk.bytes_transferred,
+            cpu_utilisation=cpu_utilisation,
+            queries=sorted(self._query_results, key=lambda query: query.query_id),
+            streams=sorted(streams, key=lambda stream: stream.stream),
+            trace=self._trace,
+            scheduling_seconds=self._scheduling_seconds,
+            num_chunks=self._abm.num_chunks,
+            config=self._config.describe(),
+        )
+
+
+def run_simulation(
+    streams: Sequence[Sequence[ScanRequest]],
+    config: SystemConfig,
+    abm: AnyABM,
+    record_trace: bool = False,
+) -> RunResult:
+    """Run a workload against an ABM instance and return the results."""
+    simulator = ScanSimulator(streams, config, abm, record_trace=record_trace)
+    return simulator.run()
+
+
+def run_standalone(
+    spec: ScanRequest,
+    config: SystemConfig,
+    abm_factory: Callable[[], AnyABM],
+) -> float:
+    """Cold standalone running time of one query (used to normalise latency).
+
+    The query is executed alone against a freshly created (empty) buffer
+    manager, exactly like the paper's per-query "cold time" baseline.
+    """
+    solo_config = config
+    if config.stream_start_delay_s != 0.0:
+        from dataclasses import replace
+
+        solo_config = replace(config, stream_start_delay_s=0.0)
+    result = run_simulation([[spec]], solo_config, abm_factory())
+    return result.queries[0].latency

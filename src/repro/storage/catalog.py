@@ -1,0 +1,90 @@
+"""A minimal named-table catalog.
+
+The catalog maps table names to their physical layout (NSM or DSM) plus any
+zone maps built over their columns.  Both the simulator and the in-memory
+query engine resolve table references through a catalog, mirroring how a
+production ABM would keep per-table statistics and metadata (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Union
+
+from repro.common.errors import StorageError
+from repro.storage.dsm import DSMTableLayout
+from repro.storage.nsm import NSMTableLayout
+from repro.storage.zonemap import ZoneMap
+
+TableLayout = Union[NSMTableLayout, DSMTableLayout]
+
+
+@dataclass
+class CatalogEntry:
+    """One table registered in the catalog."""
+
+    name: str
+    layout: TableLayout
+    zonemaps: Dict[str, ZoneMap] = field(default_factory=dict)
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks of the table."""
+        return self.layout.num_chunks
+
+    @property
+    def is_dsm(self) -> bool:
+        """Whether the table is stored column-wise."""
+        return isinstance(self.layout, DSMTableLayout)
+
+
+class Catalog:
+    """Registry of tables known to the system."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, CatalogEntry] = {}
+
+    def register(self, layout: TableLayout, name: Optional[str] = None) -> CatalogEntry:
+        """Register a table layout under ``name`` (default: its schema name)."""
+        table_name = name or layout.schema.name
+        if table_name in self._tables:
+            raise StorageError(f"table {table_name!r} is already registered")
+        entry = CatalogEntry(name=table_name, layout=layout)
+        self._tables[table_name] = entry
+        return entry
+
+    def add_zonemap(self, table: str, zonemap: ZoneMap) -> None:
+        """Attach a zone map to a registered table."""
+        entry = self.get(table)
+        if zonemap.num_chunks != entry.num_chunks:
+            raise StorageError(
+                f"zone map for {zonemap.column!r} covers {zonemap.num_chunks} chunks "
+                f"but table {table!r} has {entry.num_chunks}"
+            )
+        entry.zonemaps[zonemap.column] = zonemap
+
+    def get(self, name: str) -> CatalogEntry:
+        """Look up a table by name, raising :class:`StorageError` if missing."""
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise StorageError(f"unknown table {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[CatalogEntry]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise StorageError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def table_names(self) -> list[str]:
+        """Names of all registered tables."""
+        return list(self._tables)

@@ -1,0 +1,68 @@
+"""Workload generation: tables, query families, streams and mixes.
+
+The paper's experiments run mixes of two query families — FAST (TPC-H Q6,
+a cheap aggregation) and SLOW (TPC-H Q1 with extra arithmetic) — over ranges
+of 1 %, 10 %, 50 % and 100 % of the TPC-H ``lineitem`` table, organised in
+query streams that execute 4 random queries each.  This package builds those
+workloads:
+
+* :mod:`repro.workload.tpch` -- ``lineitem``-like schemas, layouts and
+  synthetic column data (for the in-memory engine and zone maps);
+* :mod:`repro.workload.queries` -- FAST/SLOW query families and templates
+  (``F-10`` = FAST over 10 % of the table) turned into
+  :class:`repro.core.ScanRequest` objects;
+* :mod:`repro.workload.streams` -- random query streams;
+* :mod:`repro.workload.mixes` -- the speed/size mixes of Figure 5;
+* :mod:`repro.workload.synthetic` -- the 10-column table and column-overlap
+  query sets of Table 4.
+"""
+
+from repro.workload.tpch import (
+    lineitem_nsm_schema,
+    lineitem_dsm_schema,
+    lineitem_nsm_layout,
+    lineitem_dsm_layout,
+    generate_lineitem,
+    LINEITEM_TUPLES_PER_SF,
+)
+from repro.workload.queries import (
+    QueryFamily,
+    QueryTemplate,
+    nsm_query_families,
+    dsm_query_families,
+    make_scan_request,
+    standard_templates,
+)
+from repro.workload.streams import build_streams, build_uniform_streams
+from repro.workload.mixes import SPEED_MIXES, SIZE_MIXES, mix_templates, all_mixes
+from repro.workload.synthetic import (
+    ten_column_schema,
+    ten_column_layout,
+    overlap_query_sets,
+    overlap_streams,
+)
+
+__all__ = [
+    "lineitem_nsm_schema",
+    "lineitem_dsm_schema",
+    "lineitem_nsm_layout",
+    "lineitem_dsm_layout",
+    "generate_lineitem",
+    "LINEITEM_TUPLES_PER_SF",
+    "QueryFamily",
+    "QueryTemplate",
+    "nsm_query_families",
+    "dsm_query_families",
+    "make_scan_request",
+    "standard_templates",
+    "build_streams",
+    "build_uniform_streams",
+    "SPEED_MIXES",
+    "SIZE_MIXES",
+    "mix_templates",
+    "all_mixes",
+    "ten_column_schema",
+    "ten_column_layout",
+    "overlap_query_sets",
+    "overlap_streams",
+]

@@ -1,0 +1,64 @@
+"""The query mixes of Figure 5.
+
+Figure 5 explores two dimensions: query *speed* composition (only fast
+queries, only slow, balanced and skewed mixes) and scanned *range* sizes
+(short, mixed, long).  A point label like ``"FFS-M"`` means "twice as many
+fast as slow queries, mixed range sizes".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.workload.queries import QueryFamily, QueryTemplate
+
+#: Speed mixes: each entry lists family names with multiplicity.
+SPEED_MIXES: Dict[str, Tuple[str, ...]] = {
+    "SF": ("S", "F"),
+    "S": ("S",),
+    "F": ("F",),
+    "SSF": ("S", "S", "F"),
+    "FFS": ("F", "F", "S"),
+}
+
+#: Range-size mixes (percent of the table), from Section 5.2.1:
+#: S(hort), M(ixed) and L(ong).
+SIZE_MIXES: Dict[str, Tuple[float, ...]] = {
+    "S": (1, 2, 5, 10, 20),
+    "M": (1, 2, 10, 50, 100),
+    "L": (10, 30, 50, 100),
+}
+
+
+def mix_templates(
+    speed_key: str,
+    size_key: str,
+    fast: QueryFamily,
+    slow: QueryFamily,
+) -> List[QueryTemplate]:
+    """Templates of one Figure 5 point (e.g. ``("FFS", "M")``)."""
+    try:
+        speeds = SPEED_MIXES[speed_key]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown speed mix {speed_key!r}") from exc
+    try:
+        sizes = SIZE_MIXES[size_key]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown size mix {size_key!r}") from exc
+    families = {"F": fast, "S": slow}
+    templates = []
+    for speed in speeds:
+        for size in sizes:
+            templates.append(QueryTemplate(family=families[speed], percent=size))
+    return templates
+
+
+def all_mixes() -> List[Tuple[str, str]]:
+    """All 15 (speed, size) combinations plotted in Figure 5."""
+    return [(speed, size) for speed in SPEED_MIXES for size in SIZE_MIXES]
+
+
+def mix_label(speed_key: str, size_key: str) -> str:
+    """The paper's point label, e.g. ``"FFS-M"``."""
+    return f"{speed_key}-{size_key}"

@@ -1,0 +1,70 @@
+"""Query streams.
+
+The paper's concurrency experiments use "multiple query streams, each
+sequentially executing a random set of queries", with a 3 second delay
+between stream starts.  :func:`build_streams` produces such a workload from a
+set of query templates; :func:`build_uniform_streams` produces the simpler
+workload of Figure 7 (every stream runs the same template once).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.core.cscan import ScanRequest
+from repro.workload.queries import AnyLayout, QueryTemplate, make_scan_request
+
+
+def build_streams(
+    templates: Sequence[QueryTemplate],
+    layout: AnyLayout,
+    num_streams: int,
+    queries_per_stream: int,
+    seed: int = 0,
+) -> List[List[ScanRequest]]:
+    """Build ``num_streams`` streams of ``queries_per_stream`` random queries.
+
+    Each stream draws its queries independently (with replacement) from the
+    template set, and every query scans a freshly-drawn random range, so two
+    queries with the same label still read different parts of the table.
+    Query ids are unique across the whole workload.
+    """
+    if not templates:
+        raise ConfigurationError("at least one query template is required")
+    if num_streams < 1 or queries_per_stream < 1:
+        raise ConfigurationError("need at least one stream and one query per stream")
+    rng = make_rng(seed)
+    streams: List[List[ScanRequest]] = []
+    query_id = 0
+    for _ in range(num_streams):
+        stream: List[ScanRequest] = []
+        for _ in range(queries_per_stream):
+            template = templates[int(rng.integers(0, len(templates)))]
+            stream.append(make_scan_request(template, query_id, layout, rng))
+            query_id += 1
+        streams.append(stream)
+    return streams
+
+
+def build_uniform_streams(
+    template: QueryTemplate,
+    layout: AnyLayout,
+    num_queries: int,
+    seed: int = 0,
+) -> List[List[ScanRequest]]:
+    """Build ``num_queries`` single-query streams of the same template.
+
+    Used by the Figure 7 experiment, where 1..32 concurrent queries all read
+    the same fraction of the table from random locations.
+    """
+    if num_queries < 1:
+        raise ConfigurationError("need at least one query")
+    rng = make_rng(seed)
+    return [
+        [make_scan_request(template, query_id, layout, rng)]
+        for query_id in range(num_queries)
+    ]

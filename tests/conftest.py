@@ -1,0 +1,108 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are intentionally small (tens of chunks, a few queries) so the
+whole suite stays fast; the paper-scale settings are exercised by the
+benchmarks instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import BufferConfig, CpuConfig, DiskConfig, SystemConfig
+from repro.common.units import KB, MB
+from repro.core.cscan import ScanRequest
+from repro.storage.dsm import DSMTableLayout
+from repro.storage.nsm import NSMTableLayout
+from repro.storage.schema import ColumnSpec, DataType, TableSchema
+from repro.storage.compression import NONE, PDICT, PFOR, PFOR_DELTA
+from repro.workload.tpch import generate_lineitem
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A small, fast system: 1 MB chunks, 8-chunk buffer, 2 cores."""
+    return SystemConfig(
+        disk=DiskConfig(bandwidth_bytes_per_s=100 * MB, avg_seek_s=0.002,
+                        sequential_seek_s=0.0005),
+        cpu=CpuConfig(cores=2),
+        buffer=BufferConfig(chunk_bytes=1 * MB, page_bytes=64 * KB, capacity_chunks=8),
+        stream_start_delay_s=0.5,
+    )
+
+
+@pytest.fixture
+def tiny_schema() -> TableSchema:
+    """A 4-column row-store schema (32 bytes per tuple)."""
+    return TableSchema.build(
+        "tiny",
+        [
+            ColumnSpec("a", DataType.INT64),
+            ColumnSpec("b", DataType.INT64),
+            ColumnSpec("c", DataType.DECIMAL),
+            ColumnSpec("d", DataType.DECIMAL),
+        ],
+    )
+
+
+@pytest.fixture
+def dsm_schema() -> TableSchema:
+    """A mixed-width column-store schema with compression."""
+    return TableSchema.build(
+        "dsmtab",
+        [
+            ColumnSpec("key", DataType.OID, PFOR_DELTA),
+            ColumnSpec("ref", DataType.OID, PFOR),
+            ColumnSpec("price", DataType.DECIMAL, NONE),
+            ColumnSpec("flag", DataType.CHAR1, PDICT),
+            ColumnSpec("date", DataType.DATE, PFOR, compressed_bits=12),
+        ],
+    )
+
+
+@pytest.fixture
+def nsm_layout(tiny_schema, small_config) -> NSMTableLayout:
+    """A 32-chunk NSM table (1 MB chunks, 32 bytes per tuple)."""
+    tuples = 32 * (small_config.buffer.chunk_bytes // 32)
+    return NSMTableLayout.from_buffer_config(tiny_schema, tuples, small_config.buffer)
+
+
+@pytest.fixture
+def dsm_layout(dsm_schema, small_config) -> DSMTableLayout:
+    """A ~24-chunk DSM table with varying per-column widths."""
+    return DSMTableLayout(
+        schema=dsm_schema,
+        num_tuples=600_000,
+        tuples_per_chunk=25_000,
+        page_bytes=small_config.buffer.page_bytes,
+    )
+
+
+@pytest.fixture
+def lineitem_data() -> dict:
+    """Small synthetic lineitem column data (20k tuples)."""
+    return generate_lineitem(20_000, seed=7)
+
+
+def make_request(
+    query_id: int,
+    chunks,
+    name: str = "q",
+    columns=(),
+    cpu_per_chunk: float = 0.01,
+) -> ScanRequest:
+    """Helper to build a scan request from a chunk iterable."""
+    return ScanRequest(
+        query_id=query_id,
+        name=name,
+        chunks=tuple(sorted(chunks)),
+        columns=tuple(columns),
+        cpu_per_chunk=cpu_per_chunk,
+    )
+
+
+@pytest.fixture
+def request_factory():
+    """Expose the helper as a fixture for tests that need many requests."""
+    return make_request

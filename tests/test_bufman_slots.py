@@ -1,0 +1,187 @@
+"""Tests for the ABM chunk-slot and DSM block pools."""
+
+import pytest
+
+from repro.bufman.slots import ChunkSlotPool, DSMBlockPool
+from repro.common.errors import BufferPoolError
+
+
+class TestChunkSlotPool:
+    def test_load_lifecycle(self):
+        pool = ChunkSlotPool(capacity=2)
+        pool.start_load(5)
+        assert pool.is_loading(5)
+        assert 5 not in pool
+        slot = pool.complete_load(5, now=1.0)
+        assert slot.chunk == 5
+        assert 5 in pool
+        assert pool.loads_completed == 1
+
+    def test_capacity_counts_inflight_loads(self):
+        pool = ChunkSlotPool(capacity=2)
+        pool.start_load(0)
+        pool.start_load(1)
+        assert not pool.has_free_slot()
+        with pytest.raises(BufferPoolError):
+            pool.start_load(2)
+
+    def test_double_load_raises(self):
+        pool = ChunkSlotPool(capacity=2)
+        pool.start_load(0)
+        with pytest.raises(BufferPoolError):
+            pool.start_load(0)
+        pool.complete_load(0, now=0.0)
+        with pytest.raises(BufferPoolError):
+            pool.start_load(0)
+
+    def test_cancel_load(self):
+        pool = ChunkSlotPool(capacity=1)
+        pool.start_load(0)
+        pool.cancel_load(0)
+        assert pool.has_free_slot()
+        with pytest.raises(BufferPoolError):
+            pool.cancel_load(0)
+
+    def test_pin_prevents_eviction(self):
+        pool = ChunkSlotPool(capacity=2)
+        pool.start_load(0)
+        pool.complete_load(0, now=0.0)
+        pool.pin(0, now=1.0)
+        with pytest.raises(BufferPoolError):
+            pool.evict(0)
+        pool.unpin(0, now=2.0)
+        pool.evict(0)
+        assert 0 not in pool
+        assert pool.evictions == 1
+
+    def test_unpin_without_pin_raises(self):
+        pool = ChunkSlotPool(capacity=1)
+        pool.start_load(0)
+        pool.complete_load(0, now=0.0)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(0, now=0.0)
+
+    def test_unpinned_chunks(self):
+        pool = ChunkSlotPool(capacity=3)
+        for chunk in range(3):
+            pool.start_load(chunk)
+            pool.complete_load(chunk, now=float(chunk))
+        pool.pin(1, now=5.0)
+        assert sorted(pool.unpinned_chunks()) == [0, 2]
+
+    def test_last_used_updates_on_pin_unpin(self):
+        pool = ChunkSlotPool(capacity=1)
+        pool.start_load(0)
+        slot = pool.complete_load(0, now=0.0)
+        pool.pin(0, now=3.0)
+        assert slot.last_used == 3.0
+        pool.unpin(0, now=7.0)
+        assert slot.last_used == 7.0
+
+    def test_reset(self):
+        pool = ChunkSlotPool(capacity=2)
+        pool.start_load(0)
+        pool.complete_load(0, now=0.0)
+        pool.reset()
+        assert len(pool) == 0
+        assert pool.loads_completed == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(BufferPoolError):
+            ChunkSlotPool(capacity=0)
+
+
+class TestDSMBlockPool:
+    def test_load_lifecycle_and_page_accounting(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        pool.start_load((0, "a"), pages=30)
+        assert pool.used_pages() == 30
+        pool.complete_load((0, "a"), now=1.0)
+        assert pool.used_pages() == 30
+        assert pool.has_block(0, "a")
+        assert pool.free_pages() == 70
+
+    def test_start_load_over_capacity_raises(self):
+        pool = DSMBlockPool(capacity_pages=10)
+        with pytest.raises(BufferPoolError):
+            pool.start_load((0, "a"), pages=11)
+
+    def test_eviction_returns_pages(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        pool.start_load((0, "a"), pages=40)
+        pool.complete_load((0, "a"), now=0.0)
+        freed = pool.evict((0, "a"))
+        assert freed == 40
+        assert pool.used_pages() == 0
+        assert pool.evictions == 1
+
+    def test_pinned_block_cannot_be_evicted(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        pool.start_load((0, "a"), pages=10)
+        pool.complete_load((0, "a"), now=0.0)
+        pool.pin((0, "a"), now=1.0)
+        with pytest.raises(BufferPoolError):
+            pool.evict((0, "a"))
+        pool.unpin((0, "a"), now=2.0)
+        pool.evict((0, "a"))
+
+    def test_reserved_chunk_blocks_eviction(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        pool.start_load((3, "a"), pages=10)
+        pool.complete_load((3, "a"), now=0.0)
+        pool.reserve_chunk(3)
+        assert pool.is_reserved(3)
+        with pytest.raises(BufferPoolError):
+            pool.evict((3, "a"))
+        pool.release_chunk(3)
+        pool.evict((3, "a"))
+
+    def test_reservation_counts_nest(self):
+        pool = DSMBlockPool(capacity_pages=10)
+        pool.reserve_chunk(1)
+        pool.reserve_chunk(1)
+        pool.release_chunk(1)
+        assert pool.is_reserved(1)
+        pool.release_chunk(1)
+        assert not pool.is_reserved(1)
+        with pytest.raises(BufferPoolError):
+            pool.release_chunk(1)
+
+    def test_chunk_cached_pages(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        for column, pages in (("a", 10), ("b", 20)):
+            pool.start_load((0, column), pages=pages)
+            pool.complete_load((0, column), now=0.0)
+        assert pool.chunk_cached_pages(0) == 30
+        assert pool.chunk_cached_pages(0, ["a"]) == 10
+        assert pool.chunk_cached_pages(1) == 0
+
+    def test_buffered_chunks_and_blocks_of_chunk(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        pool.start_load((0, "a"), pages=5)
+        pool.complete_load((0, "a"), now=0.0)
+        pool.start_load((2, "b"), pages=5)
+        pool.complete_load((2, "b"), now=0.0)
+        assert pool.buffered_chunks() == {0, 2}
+        assert [block.column for block in pool.blocks_of_chunk(0)] == ["a"]
+
+    def test_double_load_raises(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        pool.start_load((0, "a"), pages=5)
+        with pytest.raises(BufferPoolError):
+            pool.start_load((0, "a"), pages=5)
+
+    def test_zero_page_load_rejected(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        with pytest.raises(BufferPoolError):
+            pool.start_load((0, "a"), pages=0)
+
+    def test_reset(self):
+        pool = DSMBlockPool(capacity_pages=100)
+        pool.start_load((0, "a"), pages=5)
+        pool.complete_load((0, "a"), now=0.0)
+        pool.reserve_chunk(0)
+        pool.reset()
+        assert pool.used_pages() == 0
+        assert not pool.is_reserved(0)
+        assert len(pool) == 0

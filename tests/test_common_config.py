@@ -1,0 +1,100 @@
+"""Tests for repro.common.config."""
+
+import pytest
+
+from repro.common.config import (
+    BufferConfig,
+    CpuConfig,
+    DiskConfig,
+    PAPER_DSM_SYSTEM,
+    PAPER_NSM_SYSTEM,
+    SystemConfig,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB
+
+
+class TestDiskConfig:
+    def test_effective_bandwidth_scales_with_spindles(self):
+        disk = DiskConfig(bandwidth_bytes_per_s=100 * MB, spindles=4)
+        assert disk.effective_bandwidth == 400 * MB
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            DiskConfig(bandwidth_bytes_per_s=-1)
+
+    def test_rejects_negative_seek(self):
+        with pytest.raises(ConfigurationError):
+            DiskConfig(avg_seek_s=-0.001)
+
+    def test_rejects_zero_spindles(self):
+        with pytest.raises(ConfigurationError):
+            DiskConfig(spindles=0)
+
+
+class TestCpuConfig:
+    def test_rate_with_fewer_queries_than_cores(self):
+        assert CpuConfig(cores=4).rate_per_query(2) == 1.0
+
+    def test_rate_with_more_queries_than_cores(self):
+        assert CpuConfig(cores=2).rate_per_query(8) == pytest.approx(0.25)
+
+    def test_rate_with_no_queries(self):
+        assert CpuConfig(cores=2).rate_per_query(0) == 0.0
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            CpuConfig(cores=0)
+
+
+class TestBufferConfig:
+    def test_pages_per_chunk(self):
+        buffer = BufferConfig(chunk_bytes=16 * MB, page_bytes=256 * 1024)
+        assert buffer.pages_per_chunk == 64
+
+    def test_capacity_pages_and_bytes(self):
+        buffer = BufferConfig(chunk_bytes=16 * MB, page_bytes=256 * 1024, capacity_chunks=4)
+        assert buffer.capacity_pages == 256
+        assert buffer.capacity_bytes == 64 * MB
+
+    def test_chunk_must_be_multiple_of_page(self):
+        with pytest.raises(ConfigurationError):
+            BufferConfig(chunk_bytes=1000, page_bytes=300)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BufferConfig(capacity_chunks=0)
+
+
+class TestSystemConfig:
+    def test_paper_nsm_buffer_is_1gb(self):
+        assert PAPER_NSM_SYSTEM.buffer.capacity_bytes == 1024 * MB
+
+    def test_paper_dsm_buffer_is_1_5gb(self):
+        assert PAPER_DSM_SYSTEM.buffer.capacity_bytes == 1536 * MB
+
+    def test_chunk_load_time_includes_seek(self):
+        config = SystemConfig()
+        sequential = config.chunk_load_time(sequential=True)
+        random = config.chunk_load_time(sequential=False)
+        assert random > sequential
+
+    def test_chunk_load_time_scales_with_size(self):
+        config = SystemConfig()
+        assert config.chunk_load_time(32 * MB) > config.chunk_load_time(16 * MB)
+
+    def test_with_buffer_chunks_returns_modified_copy(self):
+        config = SystemConfig()
+        resized = config.with_buffer_chunks(16)
+        assert resized.buffer.capacity_chunks == 16
+        assert config.buffer.capacity_chunks == 64
+
+    def test_describe_contains_key_parameters(self):
+        description = SystemConfig().describe()
+        assert description["cpu_cores"] == 2
+        assert description["chunk_MB"] == 16.0
+        assert description["buffer_chunks"] == 64
+
+    def test_rejects_negative_stream_delay(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(stream_start_delay_s=-1.0)

@@ -1,0 +1,38 @@
+"""Tests for repro.common.rng."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_sequence(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1000, size=20)
+        b = make_rng(2).integers(0, 1000, size=20)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_spawns_requested_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent(self):
+        first, second = spawn_rngs(7, 2)
+        assert not np.array_equal(
+            first.integers(0, 1000, size=20), second.integers(0, 1000, size=20)
+        )
+
+    def test_reproducible_across_calls(self):
+        a = spawn_rngs(3, 3)[1].integers(0, 100, size=5)
+        b = spawn_rngs(3, 3)[1].integers(0, 100, size=5)
+        assert np.array_equal(a, b)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,54 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common.units import GB, KB, MB, ceil_div, format_bytes, format_seconds
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(9, 3) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(10, 3) == 4
+
+    def test_one_item(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(10, 0)
+
+    def test_rejects_negative_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(10, -1)
+
+
+class TestUnits:
+    def test_kb_mb_gb_relationship(self):
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_format_bytes_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_format_bytes_mb(self):
+        assert format_bytes(16 * MB) == "16.0 MB"
+
+    def test_format_bytes_gb(self):
+        assert format_bytes(int(1.5 * GB)) == "1.5 GB"
+
+    def test_format_seconds_milliseconds(self):
+        assert format_seconds(0.002) == "2.00 ms"
+
+    def test_format_seconds_seconds(self):
+        assert format_seconds(42.0) == "42.00 s"
+
+    def test_format_seconds_minutes(self):
+        assert format_seconds(63.5) == "1m 3.5s"
+
+    def test_format_seconds_negative(self):
+        assert format_seconds(-2.0) == "-2.00 s"

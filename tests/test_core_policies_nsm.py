@@ -1,0 +1,292 @@
+"""Behavioural tests for the four NSM scheduling policies."""
+
+import pytest
+
+from repro.core.abm import ActiveBufferManager
+from repro.core.policies import POLICY_NAMES, make_policy
+from repro.core.policies.relevance import RelevanceParameters, RelevancePolicy
+from repro.common.errors import ConfigurationError
+from tests.conftest import make_request
+
+
+def make_abm(policy, num_chunks=16, capacity=4, **kwargs) -> ActiveBufferManager:
+    policy_obj = make_policy(policy, **kwargs) if isinstance(policy, str) else policy
+    return ActiveBufferManager(
+        num_chunks=num_chunks,
+        capacity_chunks=capacity,
+        policy=policy_obj,
+        chunk_bytes=1024,
+    )
+
+
+def drain_single_query(abm, query_id):
+    """Drive one registered query to completion, returning its delivery order."""
+    order = []
+    guard = 0
+    while not abm.handle(query_id).finished:
+        guard += 1
+        assert guard < 1000, "query did not finish"
+        chunk = abm.select_chunk(query_id, now=float(guard))
+        if chunk is None:
+            operation = abm.next_load(now=float(guard))
+            assert operation is not None, "deadlock: no chunk and no load"
+            abm.complete_load(operation, now=float(guard))
+            continue
+        order.append(chunk)
+        abm.finish_chunk(query_id, now=float(guard))
+    return order
+
+
+class TestFactory:
+    def test_all_policy_names_construct(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("round-robin")
+
+
+class TestNormalPolicy:
+    def test_delivers_in_table_order(self):
+        abm = make_abm("normal", num_chunks=8, capacity=3)
+        abm.register(make_request(1, [1, 3, 5, 7]), now=0.0)
+        assert drain_single_query(abm, 1) == [1, 3, 5, 7]
+
+    def test_reuses_buffered_chunk(self):
+        abm = make_abm("normal", num_chunks=8, capacity=4)
+        abm.register(make_request(1, [0, 1, 2]), now=0.0)
+        drain_single_query(abm, 1)
+        loads_before = abm.io_requests
+        abm.register(make_request(2, [2]), now=10.0)
+        chunk = abm.select_chunk(2, now=10.0)
+        # Chunk 2 was loaded recently and is still buffered: no new I/O needed.
+        assert chunk == 2
+        assert abm.io_requests == loads_before
+
+    def test_lru_eviction_under_pressure(self):
+        abm = make_abm("normal", num_chunks=8, capacity=2)
+        abm.register(make_request(1, range(6)), now=0.0)
+        drain_single_query(abm, 1)
+        # Only the most recently used chunks can still be buffered.
+        assert set(abm.pool.buffered_chunks()).issubset({4, 5})
+
+    def test_round_robin_service_of_blocked_queries(self):
+        abm = make_abm("normal", num_chunks=8, capacity=4)
+        abm.register(make_request(1, [0, 1]), now=0.0)
+        abm.register(make_request(2, [4, 5]), now=0.1)
+        assert abm.select_chunk(1, now=0.2) is None
+        assert abm.select_chunk(2, now=0.3) is None
+        first = abm.next_load(now=0.4)
+        assert first.triggered_by == 1
+        abm.complete_load(first, now=0.5)
+        second = abm.next_load(now=0.6)
+        assert second.triggered_by == 2
+
+    def test_no_prefetch_mode_only_serves_blocked(self):
+        abm = make_abm("normal", num_chunks=8, capacity=4, prefetch=False)
+        abm.register(make_request(1, [0, 1, 2]), now=0.0)
+        abm.select_chunk(1, now=0.0)
+        operation = abm.next_load(now=0.0)
+        abm.complete_load(operation, now=1.0)
+        assert abm.select_chunk(1, now=1.0) == 0
+        # Query is processing chunk 0; without prefetch the disk stays idle.
+        assert abm.next_load(now=1.0) is None
+
+
+class TestAttachPolicy:
+    def test_new_query_attaches_to_running_scan(self):
+        abm = make_abm("attach", num_chunks=16, capacity=4)
+        abm.register(make_request(1, range(16)), now=0.0)
+        # Advance query 1 to chunk 6.
+        for _ in range(6):
+            chunk = abm.select_chunk(1, now=0.0)
+            if chunk is None:
+                operation = abm.next_load(now=0.0)
+                abm.complete_load(operation, now=0.0)
+                chunk = abm.select_chunk(1, now=0.0)
+            abm.finish_chunk(1, now=0.0)
+        position = min(abm.handle(1).needed)
+        abm.register(make_request(2, range(16)), now=5.0)
+        order = abm.policy._order[2]
+        # Query 2 starts around query 1's current position, not at chunk 0.
+        assert order[0] >= position - 1
+        assert set(order) == set(range(16))
+
+    def test_no_overlap_means_natural_order(self):
+        abm = make_abm("attach", num_chunks=16, capacity=4)
+        abm.register(make_request(1, range(0, 4)), now=0.0)
+        abm.register(make_request(2, range(8, 12)), now=1.0)
+        assert abm.policy._order[2] == list(range(8, 12))
+
+    def test_attach_shares_loads_for_identical_queries(self):
+        abm = make_abm("attach", num_chunks=12, capacity=4)
+        abm.register(make_request(1, range(12), cpu_per_chunk=0.0), now=0.0)
+        abm.register(make_request(2, range(12), cpu_per_chunk=0.0), now=0.0)
+        finished = set()
+        guard = 0
+        while len(finished) < 2:
+            guard += 1
+            assert guard < 500
+            progressed = False
+            for query_id in (1, 2):
+                if query_id in finished:
+                    continue
+                chunk = abm.select_chunk(query_id, now=float(guard))
+                if chunk is not None:
+                    abm.finish_chunk(query_id, now=float(guard))
+                    progressed = True
+                    if abm.handle(query_id).finished:
+                        finished.add(query_id)
+            if not progressed:
+                operation = abm.next_load(now=float(guard))
+                assert operation is not None
+                abm.complete_load(operation, now=float(guard))
+        # Two identical queries in lockstep need exactly one load per chunk.
+        assert abm.io_requests == 12
+
+    def test_wrap_around_completes_range(self):
+        abm = make_abm("attach", num_chunks=16, capacity=4)
+        abm.register(make_request(1, range(16)), now=0.0)
+        for _ in range(8):
+            chunk = abm.select_chunk(1, now=0.0)
+            if chunk is None:
+                operation = abm.next_load(now=0.0)
+                abm.complete_load(operation, now=0.0)
+                chunk = abm.select_chunk(1, now=0.0)
+            abm.finish_chunk(1, now=0.0)
+        abm.register(make_request(2, range(16)), now=1.0)
+        order = drain_single_query(abm, 2)
+        assert sorted(order) == list(range(16))
+        # Delivery wraps: it does not start at chunk 0.
+        assert order[0] != 0
+
+
+class TestElevatorPolicy:
+    def test_single_global_cursor_loads_sequentially(self):
+        abm = make_abm("elevator", num_chunks=12, capacity=6)
+        abm.register(make_request(1, range(0, 8), cpu_per_chunk=0.0), now=0.0)
+        abm.register(make_request(2, range(4, 12), cpu_per_chunk=0.0), now=0.0)
+        loads = []
+        for _ in range(6):
+            operation = abm.next_load(now=0.0)
+            if operation is None:
+                break
+            loads.append(operation.chunk)
+            abm.complete_load(operation, now=0.0)
+        assert loads == sorted(loads)
+
+    def test_skips_chunks_nobody_needs(self):
+        abm = make_abm("elevator", num_chunks=12, capacity=6)
+        abm.register(make_request(1, [0, 1, 8, 9]), now=0.0)
+        loads = []
+        for _ in range(4):
+            operation = abm.next_load(now=0.0)
+            loads.append(operation.chunk)
+            abm.complete_load(operation, now=0.0)
+        assert loads == [0, 1, 8, 9]
+
+    def test_delivery_follows_load_order(self):
+        abm = make_abm("elevator", num_chunks=8, capacity=8)
+        abm.register(make_request(1, range(8)), now=0.0)
+        order = drain_single_query(abm, 1)
+        assert order == list(range(8))
+
+    def test_late_query_waits_for_wraparound(self):
+        abm = make_abm("elevator", num_chunks=8, capacity=8)
+        abm.register(make_request(1, range(8), cpu_per_chunk=0.0), now=0.0)
+        # Cursor advances past chunk 2.
+        for _ in range(4):
+            operation = abm.next_load(now=0.0)
+            abm.complete_load(operation, now=0.0)
+        abm.register(make_request(2, [0, 1], cpu_per_chunk=0.0), now=1.0)
+        # Chunks 0 and 1 are still buffered here (capacity 8), so the late
+        # query can consume them; but any *new* load continues from the cursor.
+        operation = abm.next_load(now=1.0)
+        assert operation.chunk >= 4
+
+    def test_does_not_evict_chunks_still_needed(self):
+        abm = make_abm("elevator", num_chunks=8, capacity=2)
+        abm.register(make_request(1, range(8)), now=0.0)
+        abm.register(make_request(2, range(8)), now=0.0)
+        first = abm.next_load(now=0.0)
+        abm.complete_load(first, now=0.0)
+        second = abm.next_load(now=0.0)
+        abm.complete_load(second, now=0.0)
+        # Buffer full with chunks still needed by both queries: cursor stalls.
+        assert abm.next_load(now=0.0) is None
+
+
+class TestRelevancePolicy:
+    def test_only_loads_for_starved_queries(self):
+        abm = make_abm("relevance", num_chunks=16, capacity=8)
+        handle = abm.register(make_request(1, range(8)), now=0.0)
+        first = abm.next_load(now=0.0)
+        abm.complete_load(first, now=0.0)
+        second = abm.next_load(now=0.0)
+        abm.complete_load(second, now=0.0)
+        assert not abm.is_starved(handle)
+        # Two available chunks and the query is not consuming: not starved,
+        # so the ABM stops loading for it.
+        assert abm.next_load(now=0.0) is None
+
+    def test_short_query_prioritised(self):
+        abm = make_abm("relevance", num_chunks=32, capacity=8)
+        abm.register(make_request(1, range(0, 30), name="long"), now=0.0)
+        abm.register(make_request(2, range(30, 32), name="short"), now=0.0)
+        operation = abm.next_load(now=1.0)
+        assert operation.triggered_by == 2
+
+    def test_waiting_time_ages_long_queries(self):
+        parameters = RelevanceParameters(qmax=64)
+        abm = make_abm(RelevancePolicy(parameters), num_chunks=32, capacity=8)
+        abm.register(make_request(1, range(0, 30), name="long"), now=0.0)
+        abm.register(make_request(2, range(30, 32), name="short"), now=100.0)
+        # The long query has been waiting 100s with 2 registered queries:
+        # ageing term 50 exceeds the short query's advantage.
+        operation = abm.next_load(now=100.0)
+        assert operation.triggered_by == 1
+
+    def test_load_relevance_prefers_shared_chunks(self):
+        abm = make_abm("relevance", num_chunks=16, capacity=8)
+        abm.register(make_request(1, [0, 5]), now=0.0)
+        abm.register(make_request(2, [5, 9]), now=0.0)
+        abm.register(make_request(3, [5, 11]), now=0.0)
+        operation = abm.next_load(now=0.0)
+        assert operation.chunk == 5
+
+    def test_use_relevance_consumes_unpopular_chunks_first(self):
+        abm = make_abm("relevance", num_chunks=16, capacity=8)
+        abm.register(make_request(1, [0, 1]), now=0.0)
+        abm.register(make_request(2, [1]), now=0.0)
+        for _ in range(2):
+            operation = abm.next_load(now=0.0)
+            if operation is not None:
+                abm.complete_load(operation, now=0.0)
+        if not {0, 1}.issubset(set(abm.pool.buffered_chunks())):
+            operation = abm.next_load(now=0.0)
+            abm.complete_load(operation, now=0.0)
+        # Query 1 should consume chunk 0 first (only one query interested).
+        assert abm.select_chunk(1, now=1.0) == 0
+
+    def test_eviction_protects_chunks_wanted_by_trigger(self):
+        abm = make_abm("relevance", num_chunks=16, capacity=2)
+        abm.register(make_request(1, [0, 1, 2], cpu_per_chunk=0.0), now=0.0)
+        order = drain_single_query(abm, 1)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            RelevanceParameters(starvation_threshold=0)
+        with pytest.raises(ValueError):
+            RelevanceParameters(starvation_threshold=3, almost_starved_threshold=2)
+        with pytest.raises(ValueError):
+            RelevanceParameters(qmax=1)
+
+    def test_scheduling_calls_counted(self):
+        policy = RelevancePolicy()
+        abm = make_abm(policy, num_chunks=8, capacity=4)
+        abm.register(make_request(1, range(4)), now=0.0)
+        abm.select_chunk(1, now=0.0)
+        abm.next_load(now=0.0)
+        assert policy.scheduling_calls >= 2

@@ -1,0 +1,132 @@
+"""Tests for the disk model, I/O requests and traces."""
+
+import pytest
+
+from repro.common.config import DiskConfig
+from repro.common.units import MB
+from repro.disk.model import DiskModel
+from repro.disk.request import IORequest, RequestKind
+from repro.disk.trace import IOTrace
+
+
+class TestIORequest:
+    def test_valid_request(self):
+        request = IORequest(chunk=3, num_bytes=16 * MB)
+        assert request.kind is RequestKind.NSM_CHUNK
+        assert not request.is_column_block
+
+    def test_column_block_flag(self):
+        request = IORequest(
+            chunk=0, num_bytes=1024, kind=RequestKind.DSM_COLUMN_BLOCK, column="a"
+        )
+        assert request.is_column_block
+
+    def test_rejects_negative_chunk(self):
+        with pytest.raises(ValueError):
+            IORequest(chunk=-1, num_bytes=10)
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ValueError):
+            IORequest(chunk=0, num_bytes=0)
+
+
+class TestDiskModel:
+    def make_disk(self) -> DiskModel:
+        return DiskModel(
+            DiskConfig(bandwidth_bytes_per_s=100 * MB, avg_seek_s=0.01, sequential_seek_s=0.001)
+        )
+
+    def test_service_time_transfer_component(self):
+        disk = self.make_disk()
+        duration = disk.service_time(IORequest(chunk=0, num_bytes=100 * MB))
+        assert duration == pytest.approx(1.0 + 0.01)
+
+    def test_sequential_access_cheaper(self):
+        disk = self.make_disk()
+        disk.serve(IORequest(chunk=4, num_bytes=MB))
+        sequential = disk.service_time(IORequest(chunk=5, num_bytes=MB))
+        random = disk.service_time(IORequest(chunk=9, num_bytes=MB))
+        assert sequential < random
+
+    def test_serve_accumulates_statistics(self):
+        disk = self.make_disk()
+        disk.serve(IORequest(chunk=0, num_bytes=MB))
+        disk.serve(IORequest(chunk=1, num_bytes=MB))
+        assert disk.requests_served == 2
+        assert disk.bytes_transferred == 2 * MB
+        assert disk.busy_time > 0
+
+    def test_reset(self):
+        disk = self.make_disk()
+        disk.serve(IORequest(chunk=0, num_bytes=MB))
+        disk.reset()
+        assert disk.requests_served == 0
+        assert disk.last_chunk is None
+
+    def test_utilisation_bounded(self):
+        disk = self.make_disk()
+        disk.serve(IORequest(chunk=0, num_bytes=MB))
+        assert 0.0 < disk.utilisation(elapsed=100.0) <= 1.0
+        assert disk.utilisation(elapsed=0.0) == 0.0
+
+    def test_achieved_bandwidth(self):
+        disk = self.make_disk()
+        assert disk.achieved_bandwidth() == 0.0
+        disk.serve(IORequest(chunk=0, num_bytes=100 * MB))
+        assert disk.achieved_bandwidth() == pytest.approx(100 * MB / 1.01, rel=0.01)
+
+
+class TestIOTrace:
+    def build_trace(self) -> IOTrace:
+        trace = IOTrace()
+        for index, chunk in enumerate([0, 1, 2, 10, 11, 3, 0]):
+            trace.record(time=float(index), chunk=chunk, num_bytes=MB, triggered_by=1)
+        return trace
+
+    def test_len_and_total_bytes(self):
+        trace = self.build_trace()
+        assert len(trace) == 7
+        assert trace.total_bytes == 7 * MB
+
+    def test_series(self):
+        times, chunks = self.build_trace().series()
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert chunks == [0, 1, 2, 10, 11, 3, 0]
+
+    def test_sequential_fraction(self):
+        trace = self.build_trace()
+        # transitions: 0->1 seq, 1->2 seq, 2->10 no, 10->11 seq, 11->3 no, 3->0 no
+        assert trace.sequential_fraction() == pytest.approx(3 / 6)
+
+    def test_empty_trace(self):
+        trace = IOTrace()
+        assert trace.sequential_fraction() == 1.0
+        assert trace.duration == 0.0
+        assert trace.render_ascii(10) == "(empty trace)"
+
+    def test_distinct_and_rereads(self):
+        trace = self.build_trace()
+        assert trace.distinct_chunks() == 6
+        assert trace.reread_count() == 1
+
+    def test_concurrent_fronts_single_scan(self):
+        trace = IOTrace()
+        for index in range(32):
+            trace.record(time=float(index), chunk=index, num_bytes=MB)
+        assert trace.concurrent_fronts(window=8) == pytest.approx(1.0)
+
+    def test_concurrent_fronts_interleaved_scans(self):
+        trace = IOTrace()
+        time = 0.0
+        for index in range(16):
+            trace.record(time=time, chunk=index, num_bytes=MB)
+            time += 1.0
+            trace.record(time=time, chunk=100 + index, num_bytes=MB)
+            time += 1.0
+        assert trace.concurrent_fronts(window=8) > 2.0
+
+    def test_render_ascii_dimensions(self):
+        art = self.build_trace().render_ascii(num_chunks=12, width=40, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 11  # header + 10 rows
+        assert all(len(line) == 40 for line in lines[1:])

@@ -1,0 +1,180 @@
+"""Integration tests asserting the paper's qualitative results on small runs.
+
+These are scaled-down versions of the Table 2 / Table 3 experiments (the full
+scale lives in ``benchmarks/``); they assert the *shape* of the results:
+
+* relevance is the best (or tied best) policy on throughput and latency,
+* elevator issues the fewest (or tied fewest) I/Os but has the worst latency,
+* normal issues the most I/Os,
+* sharing improves when the buffered fraction grows.
+"""
+
+import pytest
+
+from repro.common.config import BufferConfig, CpuConfig, DiskConfig, SystemConfig
+from repro.common.units import KB, MB
+from repro.metrics import compare_runs
+from repro.sim.setup import nsm_abm_factory, dsm_abm_factory
+from repro.sim.sweeps import (
+    compare_dsm_policies,
+    compare_nsm_policies,
+    standalone_times,
+)
+from repro.storage.nsm import NSMTableLayout
+from repro.workload import (
+    build_streams,
+    lineitem_nsm_schema,
+    nsm_query_families,
+    standard_templates,
+)
+from repro.workload.queries import QueryFamily, QueryTemplate
+from repro.workload.synthetic import overlap_streams, ten_column_layout
+
+
+@pytest.fixture(scope="module")
+def shape_config() -> SystemConfig:
+    return SystemConfig(
+        disk=DiskConfig(bandwidth_bytes_per_s=200 * MB, avg_seek_s=0.008,
+                        sequential_seek_s=0.001),
+        cpu=CpuConfig(cores=2),
+        buffer=BufferConfig(chunk_bytes=4 * MB, page_bytes=256 * KB, capacity_chunks=10),
+        stream_start_delay_s=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def shape_layout(shape_config) -> NSMTableLayout:
+    # ~64 chunks: four times the buffer pool, like the paper's SF-10 setting.
+    schema = lineitem_nsm_schema()
+    tuples = int(64 * shape_config.buffer.chunk_bytes / schema.tuple_logical_bytes)
+    return NSMTableLayout.from_buffer_config(schema, tuples, shape_config.buffer)
+
+
+@pytest.fixture(scope="module")
+def shape_results(shape_config, shape_layout):
+    fast, slow = nsm_query_families(shape_config)
+    templates = standard_templates(fast, slow)
+    streams = build_streams(templates, shape_layout, num_streams=12,
+                            queries_per_stream=3, seed=123)
+    runs = compare_nsm_policies(streams, shape_config, shape_layout)
+    specs = [spec for stream in streams for spec in stream]
+    baseline = standalone_times(
+        specs, shape_config,
+        nsm_abm_factory(shape_layout, shape_config, "normal", prefetch=False),
+    )
+    return compare_runs(runs, baseline)
+
+
+class TestNSMShape:
+    def test_relevance_best_stream_time(self, shape_results):
+        stats = shape_results.system_stats()
+        best = min(stats.values(), key=lambda s: s.avg_stream_time)
+        assert stats["relevance"].avg_stream_time <= best.avg_stream_time * 1.05
+
+    def test_relevance_best_normalized_latency(self, shape_results):
+        stats = shape_results.system_stats()
+        best = min(stats.values(), key=lambda s: s.avg_normalized_latency)
+        assert (
+            stats["relevance"].avg_normalized_latency
+            <= best.avg_normalized_latency * 1.05
+        )
+
+    def test_normal_issues_more_ios_than_sharing_policies(self, shape_results):
+        stats = shape_results.system_stats()
+        assert stats["normal"].io_requests >= stats["relevance"].io_requests
+        assert stats["normal"].io_requests >= stats["elevator"].io_requests
+
+    def test_elevator_latency_worse_than_relevance_and_attach(self, shape_results):
+        stats = shape_results.system_stats()
+        assert (
+            stats["elevator"].avg_normalized_latency
+            > stats["relevance"].avg_normalized_latency
+        )
+        assert (
+            stats["elevator"].avg_normalized_latency
+            > stats["attach"].avg_normalized_latency
+        )
+
+    def test_elevator_and_relevance_fewest_ios(self, shape_results):
+        stats = shape_results.system_stats()
+        fewest = min(s.io_requests for s in stats.values())
+        assert min(stats["elevator"].io_requests, stats["relevance"].io_requests) == fewest
+
+    def test_attach_shares_more_than_normal(self, shape_results):
+        stats = shape_results.system_stats()
+        assert stats["attach"].io_requests <= stats["normal"].io_requests
+        # attach may lose a little throughput on unlucky draws, but not much.
+        assert (
+            stats["attach"].avg_stream_time
+            <= stats["normal"].avg_stream_time * 1.15
+        )
+
+    def test_figure5_view_ratios_at_least_one(self, shape_results):
+        relative = shape_results.relative_to("relevance")
+        for policy, ratios in relative.items():
+            if policy == "relevance":
+                continue
+            assert ratios["stream_time_ratio"] >= 0.95
+            assert ratios["latency_ratio"] >= 0.95
+
+    def test_relevance_keeps_cpu_busier_than_normal(self, shape_results):
+        runs = shape_results.runs
+        assert runs["relevance"].cpu_utilisation > runs["normal"].cpu_utilisation
+
+
+class TestDSMOverlapShape:
+    """A miniature of Table 4: full column overlap vs disjoint column sets."""
+
+    @pytest.fixture(scope="class")
+    def overlap_results(self, shape_config):
+        layout = ten_column_layout(
+            num_tuples=400_000, tuples_per_chunk=10_000,
+            page_bytes=shape_config.buffer.page_bytes,
+        )
+        capacity_pages = layout.table_pages() // 3
+
+        def run(column_sets):
+            streams = overlap_streams(
+                column_sets, layout, num_streams=4, queries_per_stream=2,
+                scan_fraction=0.4, cpu_per_chunk=0.001, seed=3,
+            )
+            return compare_dsm_policies(
+                streams, shape_config, layout,
+                policies=("normal", "relevance"), capacity_pages=capacity_pages,
+            )
+
+        return {
+            "single": run([("A", "B", "C")]),
+            "disjoint": run([("A", "B", "C"), ("D", "E", "F")]),
+        }
+
+    def test_relevance_beats_normal_with_full_overlap(self, overlap_results):
+        single = overlap_results["single"]
+        assert single["relevance"].io_requests < single["normal"].io_requests
+        assert single["relevance"].average_latency <= single["normal"].average_latency
+
+    def test_disjoint_columns_reduce_sharing(self, overlap_results):
+        single = overlap_results["single"]
+        disjoint = overlap_results["disjoint"]
+        gain_single = single["normal"].io_requests / single["relevance"].io_requests
+        gain_disjoint = disjoint["normal"].io_requests / disjoint["relevance"].io_requests
+        assert gain_single > gain_disjoint
+
+
+class TestBufferCapacityShape:
+    """A miniature of Figure 6: relevance's edge grows as buffers shrink."""
+
+    def test_ios_decrease_with_buffer_size(self, shape_config, shape_layout):
+        fast, _ = nsm_query_families(shape_config)
+        templates = [QueryTemplate(fast, 25), QueryTemplate(fast, 50)]
+        streams = build_streams(templates, shape_layout, num_streams=4,
+                                queries_per_stream=2, seed=5)
+        small = compare_nsm_policies(
+            streams, shape_config.with_buffer_chunks(8), shape_layout,
+            policies=("relevance",), capacity_chunks=8,
+        )["relevance"]
+        large = compare_nsm_policies(
+            streams, shape_config.with_buffer_chunks(48), shape_layout,
+            policies=("relevance",), capacity_chunks=48,
+        )["relevance"]
+        assert large.io_requests <= small.io_requests

@@ -1,0 +1,92 @@
+"""Tests for the result records and their aggregate properties."""
+
+import pytest
+
+from repro.disk.trace import IOTrace
+from repro.sim.results import QueryResult, RunResult, StreamResult
+
+
+def query(qid, name, arrival, finish, stream=0, loads=1, chunks=4):
+    return QueryResult(
+        query_id=qid,
+        name=name,
+        stream=stream,
+        arrival_time=arrival,
+        finish_time=finish,
+        chunks=chunks,
+        cpu_seconds=0.1 * chunks,
+        loads_triggered=loads,
+    )
+
+
+class TestQueryResult:
+    def test_latency(self):
+        assert query(0, "q", 2.0, 7.0).latency == pytest.approx(5.0)
+
+    def test_normalized_latency(self):
+        assert query(0, "q", 0.0, 10.0).normalized_latency(4.0) == pytest.approx(2.5)
+
+    def test_normalized_latency_zero_baseline(self):
+        assert query(0, "q", 0.0, 10.0).normalized_latency(0.0) == float("inf")
+
+    def test_default_delivery_order_empty(self):
+        assert query(0, "q", 0.0, 1.0).delivery_order == ()
+
+
+class TestStreamResult:
+    def test_duration(self):
+        stream = StreamResult(stream=0, start_time=3.0, finish_time=10.0)
+        assert stream.duration == pytest.approx(7.0)
+
+
+class TestRunResult:
+    def build(self):
+        return RunResult(
+            policy="relevance",
+            total_time=20.0,
+            io_requests=12,
+            bytes_read=100,
+            cpu_utilisation=0.5,
+            queries=[
+                query(0, "F-10", 0.0, 4.0),
+                query(1, "F-10", 1.0, 9.0, stream=1),
+                query(2, "S-50", 4.0, 20.0),
+            ],
+            streams=[
+                StreamResult(0, 0.0, 20.0),
+                StreamResult(1, 1.0, 9.0),
+            ],
+            trace=IOTrace(),
+            num_chunks=32,
+        )
+
+    def test_average_stream_time(self):
+        assert self.build().average_stream_time == pytest.approx((20.0 + 8.0) / 2)
+
+    def test_average_latency(self):
+        assert self.build().average_latency == pytest.approx((4.0 + 8.0 + 16.0) / 3)
+
+    def test_average_normalized_latency(self):
+        result = self.build()
+        value = result.average_normalized_latency({"F-10": 2.0, "S-50": 8.0})
+        assert value == pytest.approx((2.0 + 4.0 + 2.0) / 3)
+
+    def test_queries_by_name(self):
+        grouped = self.build().queries_by_name()
+        assert len(grouped["F-10"]) == 2
+        assert len(grouped["S-50"]) == 1
+
+    def test_scheduling_fraction(self):
+        result = self.build()
+        result.scheduling_seconds = 1.0
+        assert result.scheduling_fraction == pytest.approx(0.05)
+
+    def test_empty_run_aggregates(self):
+        empty = RunResult(
+            policy="normal", total_time=0.0, io_requests=0, bytes_read=0,
+            cpu_utilisation=0.0, queries=[], streams=[],
+        )
+        assert empty.average_stream_time == 0.0
+        assert empty.average_latency == 0.0
+        assert empty.average_normalized_latency({}) == 0.0
+        assert empty.scheduling_fraction == 0.0

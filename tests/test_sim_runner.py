@@ -1,0 +1,178 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.policies import POLICY_NAMES
+from repro.sim.runner import ScanSimulator, run_simulation, run_standalone
+from repro.sim.setup import make_nsm_abm, nsm_abm_factory, make_dsm_abm
+from tests.conftest import make_request
+
+
+class TestBasicRuns:
+    def test_single_query_standalone(self, nsm_layout, small_config):
+        spec = make_request(0, range(8), cpu_per_chunk=0.001)
+        abm = make_nsm_abm(nsm_layout, small_config, "normal")
+        result = run_simulation([[spec]], small_config, abm)
+        assert len(result.queries) == 1
+        query = result.queries[0]
+        assert query.chunks == 8
+        assert query.latency > 0
+        # Cold run: every chunk must be read exactly once.
+        assert result.io_requests == 8
+        assert query.delivery_order and sorted(query.delivery_order) == list(range(8))
+
+    def test_io_bound_query_latency_close_to_io_time(self, nsm_layout, small_config):
+        spec = make_request(0, range(8), cpu_per_chunk=0.0001)
+        abm = make_nsm_abm(nsm_layout, small_config, "normal")
+        result = run_simulation([[spec]], small_config, abm)
+        expected_io = 8 * small_config.chunk_load_time()
+        assert result.queries[0].latency == pytest.approx(expected_io, rel=0.2)
+
+    def test_cpu_bound_query_latency_close_to_cpu_time(self, nsm_layout, small_config):
+        spec = make_request(0, range(8), cpu_per_chunk=0.5)
+        abm = make_nsm_abm(nsm_layout, small_config, "normal")
+        result = run_simulation([[spec]], small_config, abm)
+        assert result.queries[0].latency == pytest.approx(8 * 0.5, rel=0.2)
+
+    def test_stream_delay_staggers_arrivals(self, nsm_layout, small_config):
+        streams = [
+            [make_request(0, range(4), cpu_per_chunk=0.001)],
+            [make_request(1, range(4), cpu_per_chunk=0.001)],
+        ]
+        abm = make_nsm_abm(nsm_layout, small_config, "normal")
+        result = run_simulation(streams, small_config, abm)
+        arrivals = sorted(query.arrival_time for query in result.queries)
+        assert arrivals[1] - arrivals[0] == pytest.approx(
+            small_config.stream_start_delay_s
+        )
+
+    def test_queries_within_stream_run_sequentially(self, nsm_layout, small_config):
+        streams = [
+            [
+                make_request(0, range(4), cpu_per_chunk=0.001, name="first"),
+                make_request(1, range(4, 8), cpu_per_chunk=0.001, name="second"),
+            ]
+        ]
+        abm = make_nsm_abm(nsm_layout, small_config, "normal")
+        result = run_simulation(streams, small_config, abm)
+        by_name = {query.name: query for query in result.queries}
+        assert by_name["second"].arrival_time == pytest.approx(
+            by_name["first"].finish_time
+        )
+
+    def test_stream_results_cover_all_streams(self, nsm_layout, small_config):
+        streams = [
+            [make_request(0, range(4), cpu_per_chunk=0.001)],
+            [make_request(1, range(2, 6), cpu_per_chunk=0.001)],
+        ]
+        abm = make_nsm_abm(nsm_layout, small_config, "relevance")
+        result = run_simulation(streams, small_config, abm)
+        assert len(result.streams) == 2
+        assert result.total_time >= max(stream.finish_time for stream in result.streams) - 1e-9
+        assert result.average_stream_time > 0
+
+    def test_cpu_utilisation_bounded(self, nsm_layout, small_config):
+        streams = [
+            [make_request(i, range(16), cpu_per_chunk=0.01)] for i in range(4)
+        ]
+        abm = make_nsm_abm(nsm_layout, small_config, "relevance")
+        result = run_simulation(streams, small_config, abm)
+        assert 0.0 < result.cpu_utilisation <= 1.0
+
+    def test_trace_recording(self, nsm_layout, small_config):
+        spec = make_request(0, range(8), cpu_per_chunk=0.001)
+        abm = make_nsm_abm(nsm_layout, small_config, "normal")
+        result = run_simulation([[spec]], small_config, abm, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == result.io_requests
+        assert result.trace.sequential_fraction() == pytest.approx(1.0)
+
+    def test_rejects_empty_workload(self, nsm_layout, small_config):
+        abm = make_nsm_abm(nsm_layout, small_config, "normal")
+        with pytest.raises(SimulationError):
+            ScanSimulator([[]], small_config, abm)
+
+    def test_rejects_duplicate_query_ids(self, nsm_layout, small_config):
+        abm = make_nsm_abm(nsm_layout, small_config, "normal")
+        streams = [[make_request(0, range(2))], [make_request(0, range(2))]]
+        with pytest.raises(SimulationError):
+            ScanSimulator(streams, small_config, abm)
+
+
+class TestSharingBehaviour:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_every_policy_completes_concurrent_workload(
+        self, nsm_layout, small_config, policy
+    ):
+        streams = [
+            [make_request(0, range(0, 20), cpu_per_chunk=0.002, name="A")],
+            [make_request(1, range(10, 30), cpu_per_chunk=0.004, name="B")],
+            [make_request(2, range(5, 15), cpu_per_chunk=0.002, name="C")],
+        ]
+        abm = make_nsm_abm(nsm_layout, small_config, policy)
+        result = run_simulation(streams, small_config, abm)
+        assert len(result.queries) == 3
+        for query in result.queries:
+            assert sorted(query.delivery_order) == sorted(
+                streams[query.stream][0].chunks
+            )
+
+    def test_identical_concurrent_queries_share_loads(self, nsm_layout, small_config):
+        config = small_config
+        streams = [
+            [make_request(i, range(16), cpu_per_chunk=0.002)] for i in range(4)
+        ]
+        from dataclasses import replace
+
+        config = replace(config, stream_start_delay_s=0.0)
+        abm = make_nsm_abm(nsm_layout, config, "relevance")
+        result = run_simulation(streams, config, abm)
+        # Four identical queries arriving together: near-perfect sharing.
+        assert result.io_requests <= 16 + 4
+
+    def test_relevance_never_issues_more_ios_than_normal(
+        self, nsm_layout, small_config
+    ):
+        def build_streams():
+            return [
+                [make_request(0, range(0, 24), cpu_per_chunk=0.003, name="A")],
+                [make_request(1, range(8, 32), cpu_per_chunk=0.006, name="B")],
+                [make_request(2, range(0, 8), cpu_per_chunk=0.003, name="C")],
+                [make_request(3, range(16, 28), cpu_per_chunk=0.006, name="D")],
+            ]
+
+        normal = run_simulation(
+            build_streams(), small_config, make_nsm_abm(nsm_layout, small_config, "normal")
+        )
+        relevance = run_simulation(
+            build_streams(),
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+        )
+        assert relevance.io_requests <= normal.io_requests
+
+    def test_run_standalone_uses_fresh_buffer(self, nsm_layout, small_config):
+        spec = make_request(0, range(8), cpu_per_chunk=0.001)
+        factory = nsm_abm_factory(nsm_layout, small_config, "normal", prefetch=False)
+        first = run_standalone(spec, small_config, factory)
+        second = run_standalone(spec, small_config, factory)
+        assert first == pytest.approx(second)
+        # Synchronous standalone time is roughly chunks * (io + cpu).
+        expected = 8 * (small_config.chunk_load_time() + 0.001)
+        assert first == pytest.approx(expected, rel=0.25)
+
+
+class TestDSMSimulation:
+    def test_dsm_run_completes_and_counts_pages(self, dsm_layout, small_config):
+        streams = [
+            [make_request(0, range(0, 10), columns=("key", "price"), cpu_per_chunk=0.002)],
+            [make_request(1, range(5, 15), columns=("price", "flag"), cpu_per_chunk=0.002)],
+        ]
+        abm = make_dsm_abm(dsm_layout, small_config, "relevance", capacity_pages=400)
+        result = run_simulation(streams, small_config, abm, record_trace=True)
+        assert len(result.queries) == 2
+        assert result.io_requests > 0
+        assert result.bytes_read > 0
+        # Column traces carry the column name.
+        assert any(event.column is not None for event in result.trace)

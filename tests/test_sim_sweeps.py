@@ -1,0 +1,92 @@
+"""Tests for the sweep helpers used by the figure benchmarks."""
+
+import pytest
+
+from repro.core.policies import POLICY_NAMES
+from repro.sim.sweeps import (
+    buffer_capacity_sweep,
+    compare_nsm_policies,
+    compare_dsm_policies,
+    concurrency_sweep,
+    standalone_times,
+)
+from repro.sim.setup import nsm_abm_factory
+from tests.conftest import make_request
+
+
+def small_streams():
+    return [
+        [make_request(0, range(0, 16), cpu_per_chunk=0.002, name="A-50")],
+        [make_request(1, range(16, 32), cpu_per_chunk=0.004, name="B-50")],
+        [make_request(2, range(8, 24), cpu_per_chunk=0.002, name="A-50b")],
+    ]
+
+
+class TestComparePolicies:
+    def test_compare_runs_all_policies(self, nsm_layout, small_config):
+        results = compare_nsm_policies(small_streams(), small_config, nsm_layout)
+        assert set(results) == set(POLICY_NAMES)
+        for result in results.values():
+            assert len(result.queries) == 3
+
+    def test_subset_of_policies(self, nsm_layout, small_config):
+        results = compare_nsm_policies(
+            small_streams(), small_config, nsm_layout, policies=("normal", "relevance")
+        )
+        assert set(results) == {"normal", "relevance"}
+
+    def test_dsm_compare(self, dsm_layout, small_config):
+        streams = [
+            [make_request(0, range(0, 8), columns=("key", "price"), cpu_per_chunk=0.001)],
+            [make_request(1, range(4, 12), columns=("price",), cpu_per_chunk=0.001)],
+        ]
+        results = compare_dsm_policies(
+            streams, small_config, dsm_layout, policies=("normal", "relevance"),
+            capacity_pages=500,
+        )
+        assert set(results) == {"normal", "relevance"}
+
+
+class TestStandaloneTimes:
+    def test_one_time_per_query_name(self, nsm_layout, small_config):
+        specs = [spec for stream in small_streams() for spec in stream]
+        times = standalone_times(
+            specs, small_config, nsm_abm_factory(nsm_layout, small_config, "normal")
+        )
+        assert set(times) == {"A-50", "B-50", "A-50b"}
+        assert all(value > 0 for value in times.values())
+
+
+class TestSweeps:
+    def test_buffer_capacity_sweep(self, nsm_layout, small_config):
+        results = buffer_capacity_sweep(
+            small_streams(),
+            small_config,
+            nsm_layout,
+            capacities_chunks=[4, 16],
+            policies=("normal", "relevance"),
+        )
+        assert set(results) == {4, 16}
+        # More buffer never increases the I/O count for the normal policy.
+        assert (
+            results[16]["normal"].io_requests <= results[4]["normal"].io_requests
+        )
+
+    def test_concurrency_sweep(self, nsm_layout, small_config):
+        def streams_for(count):
+            return [
+                [make_request(i, range(0, 16), cpu_per_chunk=0.002, name="U")]
+                for i in range(count)
+            ]
+
+        results = concurrency_sweep(
+            streams_for,
+            small_config,
+            nsm_layout,
+            query_counts=[1, 4],
+            policies=("normal", "relevance"),
+        )
+        assert set(results) == {1, 4}
+        # With one query all policies do the same work.
+        single = results[1]
+        assert single["normal"].io_requests == single["relevance"].io_requests

@@ -1,0 +1,123 @@
+"""Tests for repro.storage.schema and repro.storage.compression."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.storage.compression import (
+    NONE,
+    PDICT,
+    PFOR,
+    PFOR_DELTA,
+    CompressionScheme,
+    physical_bits_per_value,
+    scheme_by_name,
+)
+from repro.storage.schema import ColumnSpec, DataType, TableSchema
+
+
+class TestDataType:
+    def test_bits_and_bytes(self):
+        assert DataType.INT64.bits == 64
+        assert DataType.INT64.bytes == 8.0
+
+    def test_string_widths(self):
+        assert DataType.STR256.bytes == 256.0
+
+
+class TestCompression:
+    def test_none_preserves_width(self):
+        assert NONE.compressed_bits(64) == 64
+
+    def test_pfor_delta_compresses_hard(self):
+        assert PFOR_DELTA.compressed_bits(64) == 3
+
+    def test_pfor_matches_paper_figure9(self):
+        assert PFOR.compressed_bits(64) == 21
+
+    def test_pdict_char(self):
+        assert PDICT.compressed_bits(8) == 2
+
+    def test_minimum_one_bit(self):
+        assert PFOR_DELTA.compressed_bits(8) >= 1
+
+    def test_rejects_invalid_ratio(self):
+        with pytest.raises(StorageError):
+            CompressionScheme("bogus", 0.0)
+
+    def test_scheme_by_name_case_insensitive(self):
+        assert scheme_by_name("pfor") is PFOR
+        assert scheme_by_name("PFOR-DELTA") is PFOR_DELTA
+
+    def test_scheme_by_name_unknown(self):
+        with pytest.raises(StorageError):
+            scheme_by_name("zip")
+
+    def test_physical_bits_rejects_zero(self):
+        with pytest.raises(StorageError):
+            physical_bits_per_value(0, PFOR)
+
+
+class TestColumnSpec:
+    def test_physical_bits_without_compression(self):
+        assert ColumnSpec("a", DataType.INT32).physical_bits == 32
+
+    def test_physical_bits_with_compression(self):
+        assert ColumnSpec("a", DataType.OID, PFOR).physical_bits == 21
+
+    def test_explicit_override_wins(self):
+        spec = ColumnSpec("a", DataType.OID, PFOR, compressed_bits=12)
+        assert spec.physical_bits == 12
+
+    def test_logical_bytes(self):
+        assert ColumnSpec("a", DataType.DECIMAL).logical_bytes == 8.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(StorageError):
+            ColumnSpec("", DataType.INT32)
+
+    def test_rejects_bad_override(self):
+        with pytest.raises(StorageError):
+            ColumnSpec("a", DataType.INT32, compressed_bits=0)
+
+
+class TestTableSchema:
+    def test_column_lookup(self, tiny_schema):
+        assert tiny_schema.column("a").dtype is DataType.INT64
+
+    def test_unknown_column_raises(self, tiny_schema):
+        with pytest.raises(StorageError):
+            tiny_schema.column("nope")
+
+    def test_column_index(self, tiny_schema):
+        assert tiny_schema.column_index("c") == 2
+
+    def test_has_column(self, tiny_schema):
+        assert tiny_schema.has_column("b")
+        assert not tiny_schema.has_column("zz")
+
+    def test_tuple_widths(self, tiny_schema):
+        assert tiny_schema.tuple_logical_bytes == 32.0
+        assert tiny_schema.tuple_physical_bytes == 32.0
+
+    def test_compressed_tuple_narrower(self, dsm_schema):
+        assert dsm_schema.tuple_physical_bytes < dsm_schema.tuple_logical_bytes
+
+    def test_subset_preserves_order(self, tiny_schema):
+        assert [c.name for c in tiny_schema.subset(["c", "a"])] == ["c", "a"]
+
+    def test_physical_bytes_for_subset(self, dsm_schema):
+        assert dsm_schema.physical_bytes_for(["price"]) == pytest.approx(8.0)
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(StorageError):
+            TableSchema.build(
+                "t", [ColumnSpec("x", DataType.INT32), ColumnSpec("x", DataType.INT64)]
+            )
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(StorageError):
+            TableSchema.build("t", [])
+
+    def test_describe(self, tiny_schema):
+        described = tiny_schema.describe()
+        assert described["columns"] == 4

@@ -1,0 +1,124 @@
+"""Tests for zone maps and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StorageError
+from repro.storage.catalog import Catalog
+from repro.storage.zonemap import ZoneMap, build_zonemap, group_contiguous
+
+
+class TestGroupContiguous:
+    def test_groups_runs(self):
+        assert group_contiguous([0, 1, 2, 5, 6, 9]) == [(0, 2), (5, 6), (9, 9)]
+
+    def test_empty(self):
+        assert group_contiguous([]) == []
+
+    def test_single(self):
+        assert group_contiguous([4]) == [(4, 4)]
+
+
+class TestZoneMap:
+    def test_build_from_sorted_column(self):
+        values = np.arange(1000)
+        zonemap = build_zonemap("x", values, tuples_per_chunk=100)
+        assert zonemap.num_chunks == 10
+        assert zonemap.minima[0] == 0
+        assert zonemap.maxima[-1] == 999
+
+    def test_range_on_sorted_column_is_contiguous(self):
+        zonemap = build_zonemap("x", np.arange(1000), tuples_per_chunk=100)
+        assert zonemap.chunks_for_range(250, 449) == [2, 3, 4]
+        assert zonemap.ranges_for_range(250, 449) == [(2, 4)]
+
+    def test_range_on_correlated_column_skips_chunks(self):
+        # A noisy but increasing column: zone maps prune most chunks.
+        rng = np.random.default_rng(0)
+        values = np.arange(1000) + rng.integers(0, 50, size=1000)
+        zonemap = build_zonemap("x", values.astype(float), tuples_per_chunk=100)
+        selected = zonemap.chunks_for_range(500, 520)
+        assert 0 < len(selected) < zonemap.num_chunks
+
+    def test_uncorrelated_column_selects_everything(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 1000, size=1000)
+        zonemap = build_zonemap("x", values, tuples_per_chunk=100)
+        assert zonemap.chunks_for_range(400, 600) == list(range(10))
+
+    def test_empty_range(self):
+        zonemap = build_zonemap("x", np.arange(100), tuples_per_chunk=10)
+        assert zonemap.chunks_for_range(50, 40) == []
+
+    def test_selectivity(self):
+        zonemap = build_zonemap("x", np.arange(100), tuples_per_chunk=10)
+        assert zonemap.selectivity(0, 9) == pytest.approx(0.1)
+
+    def test_validation_min_greater_than_max(self):
+        with pytest.raises(StorageError):
+            ZoneMap("x", minima=(5.0,), maxima=(1.0,))
+
+    def test_validation_length_mismatch(self):
+        with pytest.raises(StorageError):
+            ZoneMap("x", minima=(1.0, 2.0), maxima=(3.0,))
+
+    def test_build_rejects_empty(self):
+        with pytest.raises(StorageError):
+            build_zonemap("x", np.array([]), tuples_per_chunk=10)
+
+    def test_build_rejects_bad_chunk_size(self):
+        with pytest.raises(StorageError):
+            build_zonemap("x", np.arange(10), tuples_per_chunk=0)
+
+
+class TestCatalog:
+    def test_register_and_get(self, nsm_layout):
+        catalog = Catalog()
+        entry = catalog.register(nsm_layout)
+        assert catalog.get("tiny") is entry
+        assert "tiny" in catalog
+        assert len(catalog) == 1
+
+    def test_register_duplicate_raises(self, nsm_layout):
+        catalog = Catalog()
+        catalog.register(nsm_layout)
+        with pytest.raises(StorageError):
+            catalog.register(nsm_layout)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(StorageError):
+            Catalog().get("missing")
+
+    def test_is_dsm_flag(self, nsm_layout, dsm_layout):
+        catalog = Catalog()
+        assert not catalog.register(nsm_layout).is_dsm
+        assert catalog.register(dsm_layout).is_dsm
+
+    def test_add_zonemap_validates_chunk_count(self, nsm_layout):
+        catalog = Catalog()
+        catalog.register(nsm_layout)
+        bad = ZoneMap("a", minima=(0.0,), maxima=(1.0,))
+        with pytest.raises(StorageError):
+            catalog.add_zonemap("tiny", bad)
+
+    def test_add_zonemap_success(self, nsm_layout):
+        catalog = Catalog()
+        catalog.register(nsm_layout)
+        values = np.arange(nsm_layout.num_tuples, dtype=float)
+        zonemap = build_zonemap("a", values, nsm_layout.tuples_per_chunk)
+        catalog.add_zonemap("tiny", zonemap)
+        assert "a" in catalog.get("tiny").zonemaps
+
+    def test_drop(self, nsm_layout):
+        catalog = Catalog()
+        catalog.register(nsm_layout)
+        catalog.drop("tiny")
+        assert "tiny" not in catalog
+        with pytest.raises(StorageError):
+            catalog.drop("tiny")
+
+    def test_table_names(self, nsm_layout, dsm_layout):
+        catalog = Catalog()
+        catalog.register(nsm_layout)
+        catalog.register(dsm_layout)
+        assert set(catalog.table_names()) == {"tiny", "dsmtab"}
