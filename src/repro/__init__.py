@@ -26,6 +26,7 @@ from repro.common import (
     DiskConfig,
     CpuConfig,
     BufferConfig,
+    ServiceConfig,
     PAPER_NSM_SYSTEM,
     PAPER_DSM_SYSTEM,
 )
@@ -49,13 +50,14 @@ from repro.sim import (
 )
 from repro.metrics import PolicyComparison, compare_runs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SystemConfig",
     "DiskConfig",
     "CpuConfig",
     "BufferConfig",
+    "ServiceConfig",
     "PAPER_NSM_SYSTEM",
     "PAPER_DSM_SYSTEM",
     "ScanRequest",

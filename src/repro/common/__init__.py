@@ -33,6 +33,8 @@ from repro.common.config import (
     CpuConfig,
     BufferConfig,
     SystemConfig,
+    ServiceConfig,
+    ADMISSION_DISCIPLINES,
     PAPER_NSM_SYSTEM,
     PAPER_DSM_SYSTEM,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "CpuConfig",
     "BufferConfig",
     "SystemConfig",
+    "ServiceConfig",
+    "ADMISSION_DISCIPLINES",
     "PAPER_NSM_SYSTEM",
     "PAPER_DSM_SYSTEM",
 ]

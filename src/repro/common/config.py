@@ -10,7 +10,7 @@ tests use smaller configurations for speed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.units import MB
@@ -158,6 +158,59 @@ class SystemConfig:
             "buffer_chunks": self.buffer.capacity_chunks,
             "buffer_MB": self.buffer.capacity_bytes / MB,
             "stream_start_delay_s": self.stream_start_delay_s,
+        }
+
+
+#: Admission-queue disciplines understood by the service layer.
+ADMISSION_DISCIPLINES = ("fifo", "priority")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Parameters of the open-system query service layer.
+
+    The service admits continuously-arriving queries into the simulator at a
+    bounded multiprogramming level (MPL), queueing or shedding the excess:
+
+    Attributes
+    ----------
+    max_concurrent:
+        Maximum number of queries executing concurrently (the MPL).  The
+        ABM's sharing policy is exercised at exactly this concurrency level
+        whenever the queue is non-empty, however high the offered load.
+    queue_capacity:
+        Bound on the admission queue.  ``None`` means unbounded (pure
+        queueing, nothing is ever shed); ``0`` means shed every arrival that
+        cannot start immediately (pure loss system).
+    discipline:
+        Order in which queued queries are admitted: ``"fifo"`` (arrival
+        order) or ``"priority"`` (cheapest scan first, FIFO tie-break —
+        a deterministic shortest-job-first).
+    """
+
+    max_concurrent: int = 8
+    queue_capacity: Optional[int] = None
+    discipline: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ConfigurationError("max_concurrent must be >= 1")
+        if self.queue_capacity is not None and self.queue_capacity < 0:
+            raise ConfigurationError("queue_capacity must be >= 0 or None")
+        if self.discipline not in ADMISSION_DISCIPLINES:
+            raise ConfigurationError(
+                f"unknown admission discipline {self.discipline!r}; "
+                f"expected one of {ADMISSION_DISCIPLINES}"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the service (for reports)."""
+        return {
+            "max_concurrent": self.max_concurrent,
+            "queue_capacity": (
+                "unbounded" if self.queue_capacity is None else self.queue_capacity
+            ),
+            "discipline": self.discipline,
         }
 
 

@@ -25,9 +25,12 @@ from repro.metrics.stats import (
     QueryTypeStats,
     SystemStats,
     PolicyComparison,
+    LatencySummary,
     summarise_run,
     per_query_type_stats,
     compare_runs,
+    percentile,
+    percentiles,
 )
 from repro.metrics.report import (
     format_table,
@@ -47,9 +50,12 @@ __all__ = [
     "QueryTypeStats",
     "SystemStats",
     "PolicyComparison",
+    "LatencySummary",
     "summarise_run",
     "per_query_type_stats",
     "compare_runs",
+    "percentile",
+    "percentiles",
     "format_table",
     "render_policy_comparison",
     "render_query_table",

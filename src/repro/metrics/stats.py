@@ -17,9 +17,90 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.results import QueryResult, RunResult
+
+
+# --------------------------------------------------------------- percentiles
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` with linear interpolation.
+
+    Deterministic, pure-python implementation of the standard
+    "linear" (type-7) estimator: the ``q``-th percentile of ``n`` sorted
+    values sits at rank ``(n - 1) * q / 100`` and is interpolated between
+    the two neighbouring order statistics.  Matches
+    ``numpy.percentile(values, q)`` exactly for finite inputs.
+    """
+    return _percentile_sorted(sorted(values), q)
+
+
+def _percentile_sorted(data: Sequence[float], q: float) -> float:
+    """:func:`percentile` over an already-sorted sample."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not data:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, len(data) - 1)
+    fraction = rank - lower
+    return float(data[lower]) + (float(data[upper]) - float(data[lower])) * fraction
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[float, float]:
+    """Several percentiles of the same sample, sorted once."""
+    data = sorted(values)
+    return {q: _percentile_sorted(data, q) for q in qs}
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distributional summary of a latency (or any duration) sample.
+
+    Carries the SLO-relevant tail percentiles (p50/p95/p99) alongside the
+    usual mean/extremes; an empty sample yields all zeros so reports can
+    render runs where e.g. every arrival was shed.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def from_values(values: Sequence[float]) -> "LatencySummary":
+        data = sorted(values)
+        if not data:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySummary(
+            count=len(data),
+            mean=sum(data) / len(data),
+            p50=_percentile_sorted(data, 50.0),
+            p95=_percentile_sorted(data, 95.0),
+            p99=_percentile_sorted(data, 99.0),
+            minimum=float(data[0]),
+            maximum=float(data[-1]),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (for reports and SLO tables)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
 
 
 @dataclass(frozen=True)

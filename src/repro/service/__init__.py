@@ -1,0 +1,51 @@
+"""Open-system query service layer on top of the scan simulator.
+
+The paper evaluates Cooperative Scans as a *closed* system (fixed streams of
+back-to-back queries).  This package models the same ABM and policies as a
+*service* under sustained traffic:
+
+* :mod:`repro.service.arrivals` -- Poisson and bursty ON/OFF arrival
+  generators producing timestamped query arrivals from query templates;
+* :mod:`repro.service.admission` -- a bounded admission queue that caps the
+  multiprogramming level (MPL) and sheds overload (FIFO or
+  shortest-job-first);
+* :mod:`repro.service.server` -- the :class:`OpenSystemSource` query source
+  driving the simulator, plus :func:`run_service` /
+  :func:`compare_service_policies` entry points;
+* :mod:`repro.service.slo` -- per-query queue-wait and end-to-end latency,
+  p50/p95/p99 percentiles, throughput and shed rate, rendered per policy.
+
+Everything is deterministic given a seed: the same arrivals, admissions and
+SLO report reproduce exactly.
+"""
+
+from repro.service.arrivals import (
+    Arrival,
+    poisson_arrivals,
+    onoff_arrivals,
+    offered_rate,
+)
+from repro.service.admission import AdmissionController, QueuedQuery
+from repro.service.server import (
+    OpenSystemSource,
+    ServiceResult,
+    run_service,
+    compare_service_policies,
+)
+from repro.service.slo import SLOReport, build_slo_report, render_slo_table
+
+__all__ = [
+    "Arrival",
+    "poisson_arrivals",
+    "onoff_arrivals",
+    "offered_rate",
+    "AdmissionController",
+    "QueuedQuery",
+    "OpenSystemSource",
+    "ServiceResult",
+    "run_service",
+    "compare_service_policies",
+    "SLOReport",
+    "build_slo_report",
+    "render_slo_table",
+]

@@ -1,0 +1,140 @@
+"""Admission control for the open-system query service.
+
+Cooperative Scans thrive on *bounded* concurrency: the relevance policy
+shares I/O between however many scans are active, but admitting every
+arrival at high load would thrash the buffer pool and the CPU.  The
+:class:`AdmissionController` therefore caps the number of concurrently
+executing queries at a configurable multiprogramming level (MPL) and keeps
+the excess in a bounded queue:
+
+* while fewer than ``max_concurrent`` queries are executing, an arrival is
+  admitted immediately;
+* otherwise it waits in the admission queue — FIFO, or shortest-job-first
+  under the ``"priority"`` discipline — until a running query completes;
+* when the queue is full (``queue_capacity``), the arrival is *shed*
+  (rejected) and recorded, so overload turns into an explicit shed rate
+  instead of unbounded latency.
+
+Everything is deterministic: ties in the priority discipline break on
+submission order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.config import ServiceConfig
+from repro.core.cscan import ScanRequest
+
+
+@dataclass(frozen=True)
+class QueuedQuery:
+    """A query waiting in (or rejected from) the admission queue."""
+
+    spec: ScanRequest
+    submit_time: float
+
+
+def _job_size(spec: ScanRequest) -> float:
+    """Work estimate used by the shortest-job-first discipline.
+
+    Chunk count covers the I/O side; adding the CPU budget separates
+    fast from slow queries over the same range.
+    """
+    return spec.num_chunks * (1.0 + spec.cpu_per_chunk)
+
+
+class AdmissionController:
+    """Bounded-MPL admission queue with FIFO / shortest-job-first order."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.active = 0
+        self.offered = 0
+        self.admitted = 0
+        self.max_queue_len = 0
+        self.shed: List[QueuedQuery] = []
+        self._fifo: Deque[QueuedQuery] = deque()
+        self._heap: List[Tuple[float, int, QueuedQuery]] = []
+        self._seq = 0
+
+    # -------------------------------------------------------------- queries
+    @property
+    def queue_len(self) -> int:
+        """Number of queries currently waiting for admission."""
+        return len(self._fifo) + len(self._heap)
+
+    @property
+    def shed_count(self) -> int:
+        """Number of arrivals rejected because the queue was full."""
+        return len(self.shed)
+
+    def has_queued(self) -> bool:
+        """``True`` while at least one query is waiting in the queue."""
+        return self.queue_len > 0
+
+    # ------------------------------------------------------------ lifecycle
+    def offer(self, spec: ScanRequest, submit_time: float) -> Optional[QueuedQuery]:
+        """Present one arrival to the controller.
+
+        Returns the entry if it is admitted immediately; returns ``None``
+        when the arrival was queued or shed (inspect :attr:`shed` /
+        :attr:`queue_len` to tell the two apart).
+        """
+        self.offered += 1
+        entry = QueuedQuery(spec=spec, submit_time=submit_time)
+        if self.active < self.config.max_concurrent:
+            self.active += 1
+            self.admitted += 1
+            return entry
+        capacity = self.config.queue_capacity
+        if capacity is None or self.queue_len < capacity:
+            self._push(entry)
+            self.max_queue_len = max(self.max_queue_len, self.queue_len)
+            return None
+        self.shed.append(entry)
+        return None
+
+    def release(self) -> Optional[QueuedQuery]:
+        """Signal the completion of one admitted query.
+
+        Frees its MPL slot and, if the queue is non-empty, immediately
+        admits the next queued query (returned to the caller).
+        """
+        if self.active <= 0:
+            raise ValueError("release() without a matching admission")
+        self.active -= 1
+        entry = self._pop()
+        if entry is not None:
+            self.active += 1
+            self.admitted += 1
+        return entry
+
+    def describe(self) -> Dict[str, object]:
+        """Flat description of the controller state (for reports)."""
+        return {
+            **self.config.describe(),
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed_count,
+            "queued": self.queue_len,
+            "max_queue_len": self.max_queue_len,
+        }
+
+    # -------------------------------------------------------------- plumbing
+    def _push(self, entry: QueuedQuery) -> None:
+        if self.config.discipline == "priority":
+            heapq.heappush(self._heap, (_job_size(entry.spec), self._seq, entry))
+            self._seq += 1
+        else:
+            self._fifo.append(entry)
+
+    def _pop(self) -> Optional[QueuedQuery]:
+        if self._heap:
+            return heapq.heappop(self._heap)[2]
+        if self._fifo:
+            return self._fifo.popleft()
+        return None

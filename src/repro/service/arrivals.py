@@ -1,0 +1,126 @@
+"""Open-system arrival generators.
+
+The paper's experiments are *closed*: a fixed number of streams each run
+their queries back to back, so the offered load adapts itself to the system's
+speed.  A query *service* instead faces an open arrival process whose rate
+does not care how busy the system is.  This module turns the existing
+:class:`repro.workload.QueryTemplate` machinery into timestamped arrival
+sequences:
+
+* :func:`poisson_arrivals` — memoryless arrivals at a constant rate λ, the
+  standard open-system model;
+* :func:`onoff_arrivals` — bursty traffic alternating between ON windows
+  (Poisson arrivals at a burst rate) and silent OFF windows, which stresses
+  the admission queue far more than a smooth process of equal average rate.
+
+Both are deterministic given a seed (via :func:`repro.common.rng.make_rng`):
+the same seed reproduces the exact same arrival times *and* the same query
+instances (template choice and scanned range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.core.cscan import ScanRequest
+from repro.workload.queries import AnyLayout, QueryTemplate, make_scan_request
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One timestamped query arrival at the service boundary."""
+
+    time: float
+    spec: ScanRequest
+
+
+def _validate(
+    templates: Sequence[QueryTemplate], rate_qps: float, num_queries: int
+) -> None:
+    if not templates:
+        raise ConfigurationError("at least one query template is required")
+    if rate_qps <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate_qps}")
+    if num_queries < 1:
+        raise ConfigurationError(f"need at least one query, got {num_queries}")
+
+
+def poisson_arrivals(
+    templates: Sequence[QueryTemplate],
+    layout: AnyLayout,
+    rate_qps: float,
+    num_queries: int,
+    seed: int = 0,
+    start_time: float = 0.0,
+    first_query_id: int = 0,
+) -> List[Arrival]:
+    """``num_queries`` Poisson arrivals at rate ``rate_qps`` (queries/s).
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_qps``; each
+    arrival draws a template uniformly and instantiates it over a fresh
+    random range, exactly like :func:`repro.workload.build_streams` does for
+    closed streams.  Query ids are consecutive from ``first_query_id``.
+    """
+    _validate(templates, rate_qps, num_queries)
+    rng = make_rng(seed)
+    arrivals: List[Arrival] = []
+    now = start_time
+    for index in range(num_queries):
+        now += float(rng.exponential(1.0 / rate_qps))
+        template = templates[int(rng.integers(0, len(templates)))]
+        spec = make_scan_request(template, first_query_id + index, layout, rng)
+        arrivals.append(Arrival(time=now, spec=spec))
+    return arrivals
+
+
+def onoff_arrivals(
+    templates: Sequence[QueryTemplate],
+    layout: AnyLayout,
+    burst_rate_qps: float,
+    num_queries: int,
+    on_s: float,
+    off_s: float,
+    seed: int = 0,
+    start_time: float = 0.0,
+    first_query_id: int = 0,
+) -> List[Arrival]:
+    """Bursty ON/OFF arrivals: Poisson bursts separated by silent gaps.
+
+    The process alternates between ON windows of ``on_s`` seconds, during
+    which arrivals are Poisson at ``burst_rate_qps``, and OFF windows of
+    ``off_s`` seconds with no arrivals.  The long-run average rate is
+    ``burst_rate_qps * on_s / (on_s + off_s)``.
+
+    Implemented by running a plain Poisson process on the *active* (ON-duty)
+    time axis and mapping it onto the wall clock, so determinism and the
+    exact burst rate inside windows come for free.
+    """
+    _validate(templates, burst_rate_qps, num_queries)
+    if on_s <= 0 or off_s < 0:
+        raise ConfigurationError(
+            f"need on_s > 0 and off_s >= 0, got on_s={on_s}, off_s={off_s}"
+        )
+    rng = make_rng(seed)
+    arrivals: List[Arrival] = []
+    active = 0.0
+    for index in range(num_queries):
+        active += float(rng.exponential(1.0 / burst_rate_qps))
+        windows = int(active // on_s)
+        wall = start_time + windows * (on_s + off_s) + (active - windows * on_s)
+        template = templates[int(rng.integers(0, len(templates)))]
+        spec = make_scan_request(template, first_query_id + index, layout, rng)
+        arrivals.append(Arrival(time=wall, spec=spec))
+    return arrivals
+
+
+def offered_rate(arrivals: Sequence[Arrival]) -> float:
+    """Empirical offered load (queries/s) of an arrival sequence."""
+    if len(arrivals) < 2:
+        return 0.0
+    span = arrivals[-1].time - arrivals[0].time
+    if span <= 0:
+        return float("inf")
+    return (len(arrivals) - 1) / span

@@ -1,0 +1,150 @@
+"""The open-system service loop.
+
+:class:`OpenSystemSource` adapts a timestamped arrival sequence plus an
+:class:`repro.service.admission.AdmissionController` to the simulator's
+:class:`repro.sim.source.QuerySource` interface: queries register with the
+ABM at their *admitted* time (not at a stream position), wait in the
+admission queue while the multiprogramming level is saturated, and release
+the head of the queue when they complete.
+
+:func:`run_service` wires the pieces together for one policy and returns
+the raw :class:`RunResult` alongside the :class:`SLOReport`;
+:func:`compare_service_policies` repeats the identical arrival sequence
+under several scheduling policies, which is the open-system analogue of
+:func:`repro.sim.sweeps.compare_policies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.common.config import ServiceConfig, SystemConfig
+from repro.common.errors import SimulationError
+from repro.service.admission import AdmissionController
+from repro.service.arrivals import Arrival, offered_rate
+from repro.service.slo import SLOReport, build_slo_report
+from repro.sim.results import RunResult
+from repro.sim.runner import AnyABM, run_simulation
+from repro.sim.source import NO_STREAM, AdmittedQuery, QuerySource
+
+_EPS = 1e-9
+
+
+class OpenSystemSource(QuerySource):
+    """Feeds timestamped arrivals through admission control into the runner."""
+
+    def __init__(
+        self,
+        arrivals: Sequence[Arrival],
+        admission: AdmissionController,
+    ) -> None:
+        if not arrivals:
+            raise SimulationError("service workload contains no arrivals")
+        seen_ids: Set[int] = set()
+        previous = float("-inf")
+        for arrival in arrivals:
+            if arrival.time < previous - _EPS:
+                raise SimulationError("arrivals must be sorted by time")
+            previous = arrival.time
+            if arrival.spec.query_id in seen_ids:
+                raise SimulationError(
+                    f"duplicate query id {arrival.spec.query_id} in workload"
+                )
+            seen_ids.add(arrival.spec.query_id)
+        self._arrivals = list(arrivals)
+        self._next = 0
+        self.admission = admission
+
+    # ------------------------------------------------------------- interface
+    def next_event_time(self) -> Optional[float]:
+        if self._next >= len(self._arrivals):
+            return None
+        return self._arrivals[self._next].time
+
+    def poll(self, now: float) -> List[AdmittedQuery]:
+        admitted: List[AdmittedQuery] = []
+        while (
+            self._next < len(self._arrivals)
+            and self._arrivals[self._next].time <= now + _EPS
+        ):
+            arrival = self._arrivals[self._next]
+            self._next += 1
+            entry = self.admission.offer(arrival.spec, arrival.time)
+            if entry is not None:
+                admitted.append(
+                    AdmittedQuery(
+                        spec=entry.spec,
+                        stream=NO_STREAM,
+                        submit_time=entry.submit_time,
+                    )
+                )
+        return admitted
+
+    def on_complete(self, query_id: int, now: float) -> List[AdmittedQuery]:
+        entry = self.admission.release()
+        if entry is None:
+            return []
+        return [
+            AdmittedQuery(
+                spec=entry.spec,
+                stream=NO_STREAM,
+                submit_time=entry.submit_time,
+            )
+        ]
+
+    def drained(self) -> bool:
+        return self._next >= len(self._arrivals) and not self.admission.has_queued()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "workload": "open-system",
+            "num_arrivals": len(self._arrivals),
+            **self.admission.describe(),
+        }
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one open-system service run under one policy."""
+
+    run: RunResult
+    slo: SLOReport
+    service: ServiceConfig
+
+
+def run_service(
+    arrivals: Sequence[Arrival],
+    config: SystemConfig,
+    abm: AnyABM,
+    service: ServiceConfig,
+    record_trace: bool = False,
+) -> ServiceResult:
+    """Run one arrival sequence through admission control against one ABM."""
+    admission = AdmissionController(service)
+    source = OpenSystemSource(arrivals, admission)
+    run = run_simulation(source, config, abm, record_trace=record_trace)
+    slo = build_slo_report(
+        run,
+        offered=admission.offered,
+        shed=admission.shed_count,
+        max_queue_len=admission.max_queue_len,
+        offered_rate_qps=offered_rate(arrivals),
+        admitted=admission.admitted,
+    )
+    return ServiceResult(run=run, slo=slo, service=service)
+
+
+def compare_service_policies(
+    arrivals: Sequence[Arrival],
+    config: SystemConfig,
+    abm_factory_for_policy: Callable[[str], Callable[[], AnyABM]],
+    service: ServiceConfig,
+    policies: Sequence[str] = ("normal", "attach", "elevator", "relevance"),
+) -> Dict[str, ServiceResult]:
+    """Serve the identical arrival sequence under each scheduling policy."""
+    results: Dict[str, ServiceResult] = {}
+    for policy in policies:
+        abm = abm_factory_for_policy(policy)()
+        results[policy] = run_service(arrivals, config, abm, service)
+    return results

@@ -1,0 +1,146 @@
+"""Latency-SLO metrics for the open-system query service.
+
+A service run is judged on quantities the closed-system tables never need:
+
+* **end-to-end latency** per query (submission to completion, i.e. queue
+  wait plus execution) and its tail percentiles p50/p95/p99, which is what
+  a latency SLO is written against;
+* **queue wait** on its own, separating admission delay from execution;
+* **throughput** actually delivered (completed queries per second) versus
+  the offered load; and
+* **shed rate**, the fraction of arrivals the admission controller rejected.
+
+:func:`build_slo_report` derives all of these from a :class:`RunResult`
+plus the admission controller's counters; :func:`render_slo_table` prints
+one row per policy in the style of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.report import format_table
+from repro.metrics.stats import LatencySummary
+from repro.sim.results import RunResult
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Service-level summary of one open-system run under one policy."""
+
+    policy: str
+    offered: int
+    admitted: int
+    completed: int
+    shed: int
+    duration: float
+    offered_rate_qps: float
+    max_queue_len: int
+    latency: LatencySummary
+    queue_wait: LatencySummary
+    execution: LatencySummary
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered queries rejected by admission control."""
+        if self.offered <= 0:
+            return 0.0
+        return self.shed / self.offered
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per second of simulated time."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    def meets(self, p95_latency_slo: float) -> bool:
+        """Did the run keep p95 end-to-end latency within the SLO without
+        shedding any queries?"""
+        return self.shed == 0 and self.latency.p95 <= p95_latency_slo
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (for reports and EXPERIMENTS.md generation)."""
+        return {
+            "offered": float(self.offered),
+            "admitted": float(self.admitted),
+            "completed": float(self.completed),
+            "shed": float(self.shed),
+            "shed_rate": self.shed_rate,
+            "duration": self.duration,
+            "offered_rate_qps": self.offered_rate_qps,
+            "throughput_qps": self.throughput_qps,
+            "max_queue_len": float(self.max_queue_len),
+            "latency_p50": self.latency.p50,
+            "latency_p95": self.latency.p95,
+            "latency_p99": self.latency.p99,
+            "latency_mean": self.latency.mean,
+            "queue_wait_p95": self.queue_wait.p95,
+            "queue_wait_mean": self.queue_wait.mean,
+            "execution_p95": self.execution.p95,
+        }
+
+
+def build_slo_report(
+    result: RunResult,
+    offered: int,
+    shed: int,
+    max_queue_len: int = 0,
+    offered_rate_qps: float = 0.0,
+    admitted: Optional[int] = None,
+) -> SLOReport:
+    """Summarise one open-system run into its SLO metrics.
+
+    ``admitted`` defaults to the number of completed queries, which is exact
+    for runs driven to completion; pass the admission controller's counter
+    when summarising partial runs.
+    """
+    queries = result.queries
+    return SLOReport(
+        policy=result.policy,
+        offered=offered,
+        admitted=len(queries) if admitted is None else admitted,
+        completed=len(queries),
+        shed=shed,
+        duration=result.total_time,
+        offered_rate_qps=offered_rate_qps,
+        max_queue_len=max_queue_len,
+        latency=LatencySummary.from_values(
+            [query.end_to_end_latency for query in queries]
+        ),
+        queue_wait=LatencySummary.from_values(
+            [query.queue_wait for query in queries]
+        ),
+        execution=LatencySummary.from_values(
+            [query.latency for query in queries]
+        ),
+    )
+
+
+def render_slo_table(
+    reports: Sequence[SLOReport],
+    title: Optional[str] = "Service-level statistics",
+) -> str:
+    """One row per policy: throughput, tail latencies, queue wait, shed rate."""
+    headers = [
+        "policy", "offered", "done", "shed%", "tput q/s",
+        "lat p50", "lat p95", "lat p99", "wait p95", "maxQ",
+    ]
+    rows: List[List[object]] = []
+    for report in reports:
+        rows.append(
+            [
+                report.policy,
+                report.offered,
+                report.completed,
+                round(100.0 * report.shed_rate, 1),
+                round(report.throughput_qps, 3),
+                round(report.latency.p50, 2),
+                round(report.latency.p95, 2),
+                round(report.latency.p99, 2),
+                round(report.queue_wait.p95, 2),
+                report.max_queue_len,
+            ]
+        )
+    return format_table(headers, rows, title=title)

@@ -19,6 +19,7 @@ factories; parameter sweeps used by the Figure 6/7 benchmarks live in
 from repro.sim.results import QueryResult, StreamResult, RunResult
 from repro.sim.runner import ScanSimulator, run_simulation, run_standalone
 from repro.sim.setup import make_nsm_abm, make_dsm_abm, nsm_abm_factory, dsm_abm_factory
+from repro.sim.source import AdmittedQuery, ClosedStreamSource, QuerySource, NO_STREAM
 
 __all__ = [
     "QueryResult",
@@ -31,4 +32,8 @@ __all__ = [
     "make_dsm_abm",
     "nsm_abm_factory",
     "dsm_abm_factory",
+    "AdmittedQuery",
+    "ClosedStreamSource",
+    "QuerySource",
+    "NO_STREAM",
 ]

@@ -30,11 +30,29 @@ class QueryResult:
     #: for the relevance policy, and usable to replay the same delivery in the
     #: in-memory engine (CScan).
     delivery_order: tuple = ()
+    #: When the query was submitted to the system (open-system arrivals).
+    #: ``None`` means the query started executing the moment it was submitted
+    #: (closed streams), i.e. it never waited in an admission queue.
+    submit_time: Optional[float] = None
 
     @property
     def latency(self) -> float:
         """Wall-clock latency of the query (arrival to completion)."""
         return self.finish_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent waiting in the admission queue before execution."""
+        if self.submit_time is None:
+            return 0.0
+        return max(0.0, self.arrival_time - self.submit_time)
+
+    @property
+    def end_to_end_latency(self) -> float:
+        """Submission-to-completion latency (queue wait plus execution)."""
+        if self.submit_time is None:
+            return self.latency
+        return self.finish_time - self.submit_time
 
     def normalized_latency(self, standalone: float) -> float:
         """Latency divided by the query's cold standalone running time."""

@@ -9,9 +9,19 @@ The simulator owns three resources:
 * the **ABM**: the Active Buffer Manager under test, which decides what the
   disk does and which chunk each query consumes next.
 
-Queries arrive in *streams*: each stream executes its queries back to back
-and stream ``i`` starts ``i * stream_start_delay_s`` seconds after the run
-begins (the paper uses a 3 second delay, Section 5.1).
+Queries are supplied by a pluggable :class:`repro.sim.source.QuerySource`:
+
+* the paper's *closed* workload (:class:`repro.sim.source.ClosedStreamSource`)
+  runs a fixed set of streams, each executing its queries back to back, with
+  stream ``i`` starting ``i * stream_start_delay_s`` seconds after the run
+  begins (3 seconds in the paper, Section 5.1);
+* the *open-system* service layer (:mod:`repro.service`) feeds timestamped
+  arrivals through an admission controller instead.
+
+Passing plain streams (a sequence of sequences of scan requests) to
+:class:`ScanSimulator` or :func:`run_simulation` wraps them in a
+``ClosedStreamSource`` automatically, so existing closed-workload callers
+are unaffected.
 
 The simulation is deterministic: given the same workload, configuration and
 policy it always produces the same result.
@@ -20,8 +30,8 @@ policy it always produces the same result.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
@@ -31,10 +41,12 @@ from repro.core.ops import DSMLoadOperation, LoadOperation
 from repro.disk.model import DiskModel
 from repro.disk.request import IORequest, RequestKind
 from repro.disk.trace import IOTrace
-from repro.sim.results import QueryResult, RunResult, StreamResult
+from repro.sim.results import QueryResult, RunResult
+from repro.sim.source import AdmittedQuery, ClosedStreamSource, QuerySource
 
 AnyABM = Union[ActiveBufferManager, DSMActiveBufferManager]
 AnyLoadOp = Union[LoadOperation, DSMLoadOperation]
+Workload = Union[QuerySource, Sequence[Sequence[ScanRequest]]]
 
 _EPS = 1e-9
 _MAX_EVENTS = 20_000_000
@@ -47,6 +59,7 @@ class _QueryRun:
     spec: ScanRequest
     stream: int
     arrival_time: float = 0.0
+    submit_time: Optional[float] = None
     remaining_work: float = 0.0
     processing: bool = False
     blocked: bool = False
@@ -58,22 +71,20 @@ class ScanSimulator:
 
     def __init__(
         self,
-        streams: Sequence[Sequence[ScanRequest]],
+        workload: Workload,
         config: SystemConfig,
         abm: AnyABM,
         record_trace: bool = False,
     ) -> None:
-        if not streams or all(len(stream) == 0 for stream in streams):
-            raise SimulationError("workload contains no queries")
-        seen_ids: Set[int] = set()
-        for stream in streams:
-            for spec in stream:
-                if spec.query_id in seen_ids:
-                    raise SimulationError(
-                        f"duplicate query id {spec.query_id} in workload"
-                    )
-                seen_ids.add(spec.query_id)
-        self._streams = [list(stream) for stream in streams]
+        if isinstance(workload, QuerySource):
+            self._source = workload
+        else:
+            self._source = ClosedStreamSource(workload, config.stream_start_delay_s)
+        if self._source.drained():
+            # Sources are single-use: a drained source at construction time
+            # was already consumed by a previous run (fresh sources always
+            # hold at least one pending query).
+            raise SimulationError("query source is empty or already consumed")
         self._config = config
         self._abm = abm
         self._disk = DiskModel(config.disk)
@@ -83,19 +94,11 @@ class ScanSimulator:
         self._queries: Dict[int, _QueryRun] = {}
         self._running: Dict[int, _QueryRun] = {}
         self._blocked: Set[int] = set()
-        self._stream_cursor: List[int] = [0] * len(self._streams)
-        self._stream_start: List[Optional[float]] = [None] * len(self._streams)
-        self._stream_results: List[Optional[StreamResult]] = [None] * len(self._streams)
-        self._arrivals: List[Tuple[float, int]] = sorted(
-            (index * config.stream_start_delay_s, index)
-            for index, stream in enumerate(self._streams)
-            if stream
-        )
         self._inflight: Optional[AnyLoadOp] = None
         self._disk_done: float = 0.0
         self._query_results: List[QueryResult] = []
+        self._started = 0
         self._finished = 0
-        self._total_queries = sum(len(stream) for stream in self._streams)
         self._cpu_busy_area = 0.0
         self._scheduling_seconds = 0.0
 
@@ -103,7 +106,7 @@ class ScanSimulator:
     def run(self) -> RunResult:
         """Execute the workload to completion and return the run result."""
         events = 0
-        while self._finished < self._total_queries:
+        while not (self._source.drained() and self._finished == self._started):
             events += 1
             if events > _MAX_EVENTS:
                 raise SimulationError(
@@ -116,8 +119,8 @@ class ScanSimulator:
                 raise SimulationError(
                     "simulation deadlock: "
                     f"{len(self._blocked)} blocked queries, disk idle, "
-                    f"{self._total_queries - self._finished} queries unfinished "
-                    f"(policy {self._abm.policy.name!r})"
+                    f"{self._started - self._finished} admitted queries "
+                    f"unfinished (policy {self._abm.policy.name!r})"
                 )
             self._advance_to(next_time)
             self._process_disk_completion()
@@ -128,8 +131,9 @@ class ScanSimulator:
     # ------------------------------------------------------------ event core
     def _next_event_time(self) -> Optional[float]:
         candidates: List[float] = []
-        if self._arrivals:
-            candidates.append(self._arrivals[0][0])
+        arrival = self._source.next_event_time()
+        if arrival is not None:
+            candidates.append(arrival)
         if self._inflight is not None:
             candidates.append(self._disk_done)
         if self._running:
@@ -186,9 +190,8 @@ class ScanSimulator:
             self._finish_chunk(query_id)
 
     def _process_arrivals(self) -> None:
-        while self._arrivals and self._arrivals[0][0] <= self._now + _EPS:
-            _, stream_index = self._arrivals.pop(0)
-            self._admit_next(stream_index)
+        for admitted in self._source.poll(self._now):
+            self._start_query(admitted)
 
     # -------------------------------------------------------------- plumbing
     def _timed(self, call: Callable):
@@ -230,17 +233,20 @@ class ScanSimulator:
         self._inflight = operation
         self._disk_done = self._now + duration
 
-    def _admit_next(self, stream_index: int) -> None:
-        cursor = self._stream_cursor[stream_index]
-        stream = self._streams[stream_index]
-        if cursor >= len(stream):
-            return
-        spec = stream[cursor]
-        self._stream_cursor[stream_index] = cursor + 1
-        if self._stream_start[stream_index] is None:
-            self._stream_start[stream_index] = self._now
-        run = _QueryRun(spec=spec, stream=stream_index, arrival_time=self._now)
+    def _start_query(self, admitted: AdmittedQuery) -> None:
+        spec = admitted.spec
+        if spec.query_id in self._queries:
+            raise SimulationError(
+                f"duplicate query id {spec.query_id} in workload"
+            )
+        run = _QueryRun(
+            spec=spec,
+            stream=admitted.stream,
+            arrival_time=self._now,
+            submit_time=admitted.submit_time,
+        )
         self._queries[spec.query_id] = run
+        self._started += 1
         self._timed(lambda: self._abm.register(spec, self._now))
         self._dispatch(spec.query_id)
 
@@ -285,21 +291,13 @@ class ScanSimulator:
                 cpu_seconds=spec.cpu_per_chunk * spec.num_chunks,
                 loads_triggered=self._abm.loads_triggered.get(query_id, 0),
                 delivery_order=delivery_order,
+                submit_time=run.submit_time,
             )
         )
         run.done = True
         self._finished += 1
-        stream_index = run.stream
-        if self._stream_cursor[stream_index] < len(self._streams[stream_index]):
-            self._admit_next(stream_index)
-        else:
-            start = self._stream_start[stream_index] or 0.0
-            self._stream_results[stream_index] = StreamResult(
-                stream=stream_index,
-                start_time=start,
-                finish_time=self._now,
-                query_names=[spec.name for spec in self._streams[stream_index]],
-            )
+        for admitted in self._source.on_complete(query_id, self._now):
+            self._start_query(admitted)
 
     # ---------------------------------------------------------------- result
     def _build_result(self) -> RunResult:
@@ -309,7 +307,7 @@ class ScanSimulator:
             cpu_utilisation = self._cpu_busy_area / (
                 self._config.cpu.cores * total_time
             )
-        streams = [result for result in self._stream_results if result is not None]
+        streams = self._source.stream_results()
         return RunResult(
             policy=self._abm.policy.name,
             total_time=total_time,
@@ -326,13 +324,13 @@ class ScanSimulator:
 
 
 def run_simulation(
-    streams: Sequence[Sequence[ScanRequest]],
+    workload: Workload,
     config: SystemConfig,
     abm: AnyABM,
     record_trace: bool = False,
 ) -> RunResult:
-    """Run a workload against an ABM instance and return the results."""
-    simulator = ScanSimulator(streams, config, abm, record_trace=record_trace)
+    """Run a workload (streams or a query source) against an ABM instance."""
+    simulator = ScanSimulator(workload, config, abm, record_trace=record_trace)
     return simulator.run()
 
 

@@ -1,0 +1,125 @@
+"""Tests for the admission controller (MPL cap, queueing, shedding)."""
+
+import pytest
+
+from repro.common.config import ServiceConfig
+from repro.common.errors import ConfigurationError
+from repro.service.admission import AdmissionController
+from tests.conftest import make_request
+
+
+def controller(max_concurrent=2, queue_capacity=None, discipline="fifo"):
+    return AdmissionController(
+        ServiceConfig(
+            max_concurrent=max_concurrent,
+            queue_capacity=queue_capacity,
+            discipline=discipline,
+        )
+    )
+
+
+class TestServiceConfig:
+    def test_defaults_valid(self):
+        config = ServiceConfig()
+        assert config.max_concurrent == 8
+        assert config.queue_capacity is None
+        assert config.discipline == "fifo"
+
+    def test_describe_is_flat(self):
+        described = ServiceConfig(queue_capacity=4).describe()
+        assert described["queue_capacity"] == 4
+        assert ServiceConfig().describe()["queue_capacity"] == "unbounded"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_concurrent=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(queue_capacity=-1)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(discipline="lifo")
+
+
+class TestAdmission:
+    def test_admits_up_to_mpl_immediately(self):
+        ctrl = controller(max_concurrent=2)
+        assert ctrl.offer(make_request(0, range(4)), 0.0) is not None
+        assert ctrl.offer(make_request(1, range(4)), 0.1) is not None
+        assert ctrl.active == 2
+        assert ctrl.queue_len == 0
+
+    def test_queues_beyond_mpl(self):
+        ctrl = controller(max_concurrent=1)
+        assert ctrl.offer(make_request(0, range(4)), 0.0) is not None
+        assert ctrl.offer(make_request(1, range(4)), 0.1) is None
+        assert ctrl.queue_len == 1
+        assert ctrl.shed_count == 0
+        assert ctrl.max_queue_len == 1
+
+    def test_release_admits_head_of_queue_fifo(self):
+        ctrl = controller(max_concurrent=1)
+        ctrl.offer(make_request(0, range(4)), 0.0)
+        ctrl.offer(make_request(1, range(4)), 0.1)
+        ctrl.offer(make_request(2, range(4)), 0.2)
+        first = ctrl.release()
+        second = ctrl.release()
+        assert first.spec.query_id == 1
+        assert second.spec.query_id == 2
+        assert ctrl.active == 1
+
+    def test_priority_pops_cheapest_scan_first(self):
+        ctrl = controller(max_concurrent=1, discipline="priority")
+        ctrl.offer(make_request(0, range(4)), 0.0)
+        ctrl.offer(make_request(1, range(20), name="big"), 0.1)
+        ctrl.offer(make_request(2, range(2), name="small"), 0.2)
+        assert ctrl.release().spec.name == "small"
+        assert ctrl.release().spec.name == "big"
+
+    def test_priority_ties_break_in_submission_order(self):
+        ctrl = controller(max_concurrent=1, discipline="priority")
+        ctrl.offer(make_request(0, range(4)), 0.0)
+        ctrl.offer(make_request(1, range(8)), 0.1)
+        ctrl.offer(make_request(2, range(8)), 0.2)
+        assert ctrl.release().spec.query_id == 1
+        assert ctrl.release().spec.query_id == 2
+
+    def test_bounded_queue_sheds_overflow(self):
+        ctrl = controller(max_concurrent=1, queue_capacity=1)
+        ctrl.offer(make_request(0, range(4)), 0.0)
+        ctrl.offer(make_request(1, range(4)), 0.1)
+        shed_candidate = ctrl.offer(make_request(2, range(4)), 0.2)
+        assert shed_candidate is None
+        assert ctrl.queue_len == 1
+        assert ctrl.shed_count == 1
+        assert ctrl.shed[0].spec.query_id == 2
+
+    def test_zero_capacity_queue_is_pure_loss(self):
+        ctrl = controller(max_concurrent=1, queue_capacity=0)
+        ctrl.offer(make_request(0, range(4)), 0.0)
+        assert ctrl.offer(make_request(1, range(4)), 0.1) is None
+        assert ctrl.queue_len == 0
+        assert ctrl.shed_count == 1
+
+    def test_release_with_empty_queue_frees_slot(self):
+        ctrl = controller(max_concurrent=1)
+        ctrl.offer(make_request(0, range(4)), 0.0)
+        assert ctrl.release() is None
+        assert ctrl.active == 0
+        # Slot is reusable afterwards.
+        assert ctrl.offer(make_request(1, range(4)), 1.0) is not None
+
+    def test_release_without_admission_raises(self):
+        ctrl = controller()
+        with pytest.raises(ValueError):
+            ctrl.release()
+
+    def test_counters_and_describe(self):
+        ctrl = controller(max_concurrent=1, queue_capacity=1)
+        ctrl.offer(make_request(0, range(4)), 0.0)
+        ctrl.offer(make_request(1, range(4)), 0.1)
+        ctrl.offer(make_request(2, range(4)), 0.2)
+        described = ctrl.describe()
+        assert described["offered"] == 3
+        assert described["admitted"] == 1
+        assert described["shed"] == 1
+        assert described["queued"] == 1
+        assert described["max_queue_len"] == 1

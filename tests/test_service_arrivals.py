@@ -1,0 +1,120 @@
+"""Tests for the open-system arrival generators."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.service.arrivals import (
+    offered_rate,
+    onoff_arrivals,
+    poisson_arrivals,
+)
+from repro.workload.queries import QueryFamily, QueryTemplate
+
+
+@pytest.fixture
+def templates():
+    fast = QueryFamily("F", cpu_per_chunk=0.001)
+    slow = QueryFamily("S", cpu_per_chunk=0.01)
+    return (
+        QueryTemplate(fast, 10),
+        QueryTemplate(fast, 50),
+        QueryTemplate(slow, 10),
+    )
+
+
+class TestPoissonArrivals:
+    def test_count_and_monotone_times(self, templates, nsm_layout):
+        arrivals = poisson_arrivals(templates, nsm_layout, 2.0, 50, seed=1)
+        assert len(arrivals) == 50
+        times = [arrival.time for arrival in arrivals]
+        assert times == sorted(times)
+        assert all(time > 0 for time in times)
+
+    def test_unique_consecutive_query_ids(self, templates, nsm_layout):
+        arrivals = poisson_arrivals(
+            templates, nsm_layout, 2.0, 20, seed=1, first_query_id=100
+        )
+        ids = [arrival.spec.query_id for arrival in arrivals]
+        assert ids == list(range(100, 120))
+
+    def test_same_seed_reproduces_exactly(self, templates, nsm_layout):
+        first = poisson_arrivals(templates, nsm_layout, 3.0, 30, seed=7)
+        second = poisson_arrivals(templates, nsm_layout, 3.0, 30, seed=7)
+        assert first == second
+
+    def test_different_seed_differs(self, templates, nsm_layout):
+        first = poisson_arrivals(templates, nsm_layout, 3.0, 30, seed=7)
+        second = poisson_arrivals(templates, nsm_layout, 3.0, 30, seed=8)
+        assert first != second
+
+    def test_empirical_rate_close_to_lambda(self, templates, nsm_layout):
+        rate = 4.0
+        arrivals = poisson_arrivals(templates, nsm_layout, rate, 4000, seed=5)
+        assert offered_rate(arrivals) == pytest.approx(rate, rel=0.1)
+
+    def test_specs_use_template_costs(self, templates, nsm_layout):
+        arrivals = poisson_arrivals(templates, nsm_layout, 2.0, 40, seed=2)
+        cpu_costs = {arrival.spec.cpu_per_chunk for arrival in arrivals}
+        assert cpu_costs <= {0.001, 0.01}
+        # With 40 draws over 3 templates both families should appear.
+        assert len(cpu_costs) == 2
+
+    def test_start_time_offsets_all_arrivals(self, templates, nsm_layout):
+        base = poisson_arrivals(templates, nsm_layout, 2.0, 10, seed=3)
+        offset = poisson_arrivals(
+            templates, nsm_layout, 2.0, 10, seed=3, start_time=100.0
+        )
+        for a, b in zip(base, offset):
+            assert b.time == pytest.approx(a.time + 100.0)
+            assert b.spec == a.spec
+
+    def test_error_paths(self, templates, nsm_layout):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals((), nsm_layout, 2.0, 10)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(templates, nsm_layout, 0.0, 10)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(templates, nsm_layout, 2.0, 0)
+
+
+class TestOnOffArrivals:
+    def test_arrivals_only_inside_on_windows(self, templates, nsm_layout):
+        on_s, off_s = 5.0, 15.0
+        arrivals = onoff_arrivals(
+            templates, nsm_layout, 4.0, 100, on_s=on_s, off_s=off_s, seed=11
+        )
+        period = on_s + off_s
+        for arrival in arrivals:
+            assert arrival.time % period <= on_s + 1e-9
+
+    def test_burstier_than_poisson_of_equal_average_rate(
+        self, templates, nsm_layout
+    ):
+        # 25% duty cycle: the ON/OFF process packs the same queries into a
+        # quarter of the wall-clock time, so its peak rate is ~4x the average.
+        on_s, off_s = 5.0, 15.0
+        arrivals = onoff_arrivals(
+            templates, nsm_layout, 4.0, 400, on_s=on_s, off_s=off_s, seed=11
+        )
+        average = offered_rate(arrivals)
+        assert average == pytest.approx(1.0, rel=0.2)
+
+    def test_deterministic(self, templates, nsm_layout):
+        first = onoff_arrivals(templates, nsm_layout, 4.0, 50, 2.0, 6.0, seed=4)
+        second = onoff_arrivals(templates, nsm_layout, 4.0, 50, 2.0, 6.0, seed=4)
+        assert first == second
+
+    def test_error_paths(self, templates, nsm_layout):
+        with pytest.raises(ConfigurationError):
+            onoff_arrivals(templates, nsm_layout, 4.0, 10, on_s=0.0, off_s=1.0)
+        with pytest.raises(ConfigurationError):
+            onoff_arrivals(templates, nsm_layout, 4.0, 10, on_s=1.0, off_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            onoff_arrivals(templates, nsm_layout, -1.0, 10, on_s=1.0, off_s=1.0)
+
+
+class TestOfferedRate:
+    def test_short_sequences(self, templates, nsm_layout):
+        arrivals = poisson_arrivals(templates, nsm_layout, 2.0, 1, seed=1)
+        assert offered_rate(arrivals) == 0.0
+        assert offered_rate([]) == 0.0

@@ -1,0 +1,281 @@
+"""End-to-end tests for the open-system service loop and SLO reporting."""
+
+import pytest
+
+from repro.common.config import ServiceConfig
+from repro.common.errors import SimulationError
+from repro.service import (
+    AdmissionController,
+    Arrival,
+    OpenSystemSource,
+    build_slo_report,
+    compare_service_policies,
+    poisson_arrivals,
+    render_slo_table,
+    run_service,
+)
+from repro.sim.runner import run_simulation
+from repro.sim.setup import make_nsm_abm, nsm_abm_factory
+from repro.sim.source import ClosedStreamSource
+from repro.workload.queries import QueryFamily, QueryTemplate
+from tests.conftest import make_request
+
+
+@pytest.fixture
+def templates():
+    fast = QueryFamily("F", cpu_per_chunk=0.002)
+    slow = QueryFamily("S", cpu_per_chunk=0.02)
+    return (
+        QueryTemplate(fast, 25),
+        QueryTemplate(fast, 50),
+        QueryTemplate(slow, 25),
+    )
+
+
+def max_concurrency(result):
+    """Highest number of simultaneously executing queries in a run."""
+    events = []
+    for query in result.queries:
+        events.append((query.arrival_time, 1))
+        events.append((query.finish_time, -1))
+    # Completions sort before admissions at equal timestamps: the runner
+    # releases a slot before admitting the next queued query.
+    events.sort(key=lambda event: (event[0], event[1]))
+    peak = active = 0
+    for _, delta in events:
+        active += delta
+        peak = max(peak, active)
+    return peak
+
+
+class TestOpenSystemSource:
+    def test_rejects_empty_arrivals(self):
+        with pytest.raises(SimulationError):
+            OpenSystemSource([], AdmissionController(ServiceConfig()))
+
+    def test_rejects_unsorted_arrivals(self):
+        arrivals = [
+            Arrival(time=1.0, spec=make_request(0, range(2))),
+            Arrival(time=0.5, spec=make_request(1, range(2))),
+        ]
+        with pytest.raises(SimulationError):
+            OpenSystemSource(arrivals, AdmissionController(ServiceConfig()))
+
+    def test_rejects_duplicate_query_ids(self):
+        arrivals = [
+            Arrival(time=0.5, spec=make_request(0, range(2))),
+            Arrival(time=1.0, spec=make_request(0, range(2))),
+        ]
+        with pytest.raises(SimulationError):
+            OpenSystemSource(arrivals, AdmissionController(ServiceConfig()))
+
+    def test_rejects_reuse_of_consumed_source(self, nsm_layout, small_config):
+        # Sources are single-use: running the same instance twice must fail
+        # loudly instead of returning an empty second result.
+        arrivals = [Arrival(time=0.0, spec=make_request(0, range(4)))]
+        source = OpenSystemSource(arrivals, AdmissionController(ServiceConfig()))
+        run_simulation(
+            source, small_config, make_nsm_abm(nsm_layout, small_config, "normal")
+        )
+        with pytest.raises(SimulationError, match="consumed"):
+            run_simulation(
+                source, small_config,
+                make_nsm_abm(nsm_layout, small_config, "relevance"),
+            )
+
+
+class TestServiceRuns:
+    def test_all_admitted_queries_complete(self, templates, nsm_layout, small_config):
+        arrivals = poisson_arrivals(templates, nsm_layout, 2.0, 12, seed=3)
+        service = ServiceConfig(max_concurrent=3)
+        result = run_service(
+            arrivals, small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"), service,
+        )
+        assert result.slo.offered == 12
+        assert result.slo.completed == 12
+        assert result.slo.shed == 0
+        assert result.slo.throughput_qps > 0
+
+    def test_concurrency_never_exceeds_mpl(self, templates, nsm_layout, small_config):
+        arrivals = poisson_arrivals(templates, nsm_layout, 5.0, 20, seed=9)
+        service = ServiceConfig(max_concurrent=2)
+        result = run_service(
+            arrivals, small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"), service,
+        )
+        assert max_concurrency(result.run) <= 2
+
+    def test_queries_register_at_admission_not_arrival(
+        self, templates, nsm_layout, small_config
+    ):
+        # MPL 1 under a fast arrival process: later queries must queue, so
+        # their execution (arrival_time) starts strictly after submission.
+        arrivals = poisson_arrivals(templates, nsm_layout, 10.0, 6, seed=4)
+        service = ServiceConfig(max_concurrent=1)
+        result = run_service(
+            arrivals, small_config,
+            make_nsm_abm(nsm_layout, small_config, "normal"), service,
+        )
+        waits = [query.queue_wait for query in result.run.queries]
+        assert any(wait > 0 for wait in waits)
+        for query in result.run.queries:
+            assert query.submit_time is not None
+            assert query.arrival_time >= query.submit_time - 1e-9
+            assert query.end_to_end_latency == pytest.approx(
+                query.queue_wait + query.latency
+            )
+        assert result.slo.queue_wait.p95 > 0
+
+    def test_overload_with_zero_queue_sheds(self, templates, nsm_layout, small_config):
+        arrivals = poisson_arrivals(templates, nsm_layout, 20.0, 25, seed=5)
+        service = ServiceConfig(max_concurrent=1, queue_capacity=0)
+        result = run_service(
+            arrivals, small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"), service,
+        )
+        assert result.slo.shed > 0
+        assert result.slo.completed == result.slo.offered - result.slo.shed
+        assert 0 < result.slo.shed_rate < 1
+
+    def test_same_seed_and_config_reproduce_identically(
+        self, templates, nsm_layout, small_config
+    ):
+        def once():
+            arrivals = poisson_arrivals(templates, nsm_layout, 3.0, 15, seed=21)
+            service = ServiceConfig(max_concurrent=2, queue_capacity=4)
+            return run_service(
+                arrivals, small_config,
+                make_nsm_abm(nsm_layout, small_config, "relevance"), service,
+            )
+
+        first, second = once(), once()
+        assert first.slo == second.slo
+        assert first.run.total_time == second.run.total_time
+        assert first.run.io_requests == second.run.io_requests
+        assert [
+            (q.query_id, q.submit_time, q.arrival_time, q.finish_time)
+            for q in first.run.queries
+        ] == [
+            (q.query_id, q.submit_time, q.arrival_time, q.finish_time)
+            for q in second.run.queries
+        ]
+
+    def test_priority_discipline_prefers_small_queries(
+        self, nsm_layout, small_config
+    ):
+        # One long-running query holds the only slot while a big and a small
+        # query queue up behind it; SJF must run the small one first.
+        arrivals = [
+            Arrival(time=0.0, spec=make_request(0, range(16), name="running",
+                                                cpu_per_chunk=0.02)),
+            Arrival(time=0.1, spec=make_request(1, range(16), name="big",
+                                                cpu_per_chunk=0.02)),
+            Arrival(time=0.2, spec=make_request(2, range(2), name="small",
+                                                cpu_per_chunk=0.02)),
+        ]
+        service = ServiceConfig(max_concurrent=1, discipline="priority")
+        result = run_service(
+            arrivals, small_config,
+            make_nsm_abm(nsm_layout, small_config, "normal"), service,
+        )
+        by_name = {query.name: query for query in result.run.queries}
+        assert by_name["small"].arrival_time < by_name["big"].arrival_time
+
+    def test_compare_service_policies_shares_arrivals(
+        self, templates, nsm_layout, small_config
+    ):
+        arrivals = poisson_arrivals(templates, nsm_layout, 2.5, 12, seed=8)
+        service = ServiceConfig(max_concurrent=3)
+        results = compare_service_policies(
+            arrivals, small_config,
+            lambda policy: nsm_abm_factory(nsm_layout, small_config, policy),
+            service, policies=("normal", "relevance"),
+        )
+        assert set(results) == {"normal", "relevance"}
+        for outcome in results.values():
+            assert outcome.slo.offered == 12
+        # Sharing can only reduce I/O relative to no sharing.
+        assert (
+            results["relevance"].run.io_requests
+            <= results["normal"].run.io_requests
+        )
+        table = render_slo_table([r.slo for r in results.values()])
+        assert "lat p95" in table and "relevance" in table
+
+
+class TestClosedStreamEquivalence:
+    def test_explicit_source_matches_plain_streams(self, nsm_layout, small_config):
+        def build():
+            return [
+                [make_request(0, range(0, 12), cpu_per_chunk=0.002, name="A"),
+                 make_request(1, range(4, 16), cpu_per_chunk=0.004, name="B")],
+                [make_request(2, range(8, 24), cpu_per_chunk=0.002, name="C")],
+            ]
+
+        plain = run_simulation(
+            build(), small_config, make_nsm_abm(nsm_layout, small_config, "relevance")
+        )
+        explicit = run_simulation(
+            ClosedStreamSource(build(), small_config.stream_start_delay_s),
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+        )
+        assert plain.total_time == explicit.total_time
+        assert plain.io_requests == explicit.io_requests
+        assert plain.queries == explicit.queries
+        assert plain.streams == explicit.streams
+
+    def test_closed_queries_have_no_queue_wait(self, nsm_layout, small_config):
+        streams = [[make_request(0, range(8), cpu_per_chunk=0.002)]]
+        result = run_simulation(
+            streams, small_config, make_nsm_abm(nsm_layout, small_config, "normal")
+        )
+        query = result.queries[0]
+        assert query.submit_time is None
+        assert query.queue_wait == 0.0
+        assert query.end_to_end_latency == query.latency
+
+
+class TestSLOReport:
+    def test_report_fields_consistent(self, templates, nsm_layout, small_config):
+        arrivals = poisson_arrivals(templates, nsm_layout, 2.0, 10, seed=13)
+        service = ServiceConfig(max_concurrent=2)
+        result = run_service(
+            arrivals, small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"), service,
+        )
+        report = result.slo
+        assert report.policy == "relevance"
+        assert report.latency.p50 <= report.latency.p95 <= report.latency.p99
+        # End-to-end latency dominates execution time query by query, and
+        # percentiles preserve pointwise domination.
+        assert report.latency.p95 >= report.execution.p95 - 1e-9
+        assert report.throughput_qps == pytest.approx(
+            report.completed / report.duration
+        )
+        flat = report.as_dict()
+        assert flat["latency_p95"] == report.latency.p95
+        assert flat["shed_rate"] == report.shed_rate
+
+    def test_meets_slo_predicate(self, templates, nsm_layout, small_config):
+        arrivals = poisson_arrivals(templates, nsm_layout, 1.0, 8, seed=17)
+        service = ServiceConfig(max_concurrent=4)
+        result = run_service(
+            arrivals, small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"), service,
+        )
+        assert result.slo.meets(result.slo.latency.p95 + 1.0)
+        assert not result.slo.meets(result.slo.latency.p95 / 2.0)
+
+    def test_build_report_on_run_without_queries(self):
+        from repro.sim.results import RunResult
+
+        empty = RunResult(
+            policy="normal", total_time=0.0, io_requests=0, bytes_read=0,
+            cpu_utilisation=0.0, queries=[], streams=[],
+        )
+        report = build_slo_report(empty, offered=5, shed=5)
+        assert report.shed_rate == 1.0
+        assert report.throughput_qps == 0.0
+        assert report.latency.count == 0

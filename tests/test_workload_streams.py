@@ -1,0 +1,90 @@
+"""Edge-case tests for closed-stream workload generation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workload.queries import QueryFamily, QueryTemplate
+from repro.workload.streams import build_streams, build_uniform_streams
+
+
+@pytest.fixture
+def templates():
+    fast = QueryFamily("F", cpu_per_chunk=0.001)
+    slow = QueryFamily("S", cpu_per_chunk=0.01)
+    return (
+        QueryTemplate(fast, 10),
+        QueryTemplate(slow, 50),
+    )
+
+
+class TestBuildStreams:
+    def test_shape(self, templates, nsm_layout):
+        streams = build_streams(templates, nsm_layout, 3, 4, seed=1)
+        assert len(streams) == 3
+        assert all(len(stream) == 4 for stream in streams)
+
+    def test_query_ids_unique_across_streams(self, templates, nsm_layout):
+        streams = build_streams(templates, nsm_layout, 4, 5, seed=2)
+        ids = [spec.query_id for stream in streams for spec in stream]
+        assert len(ids) == len(set(ids)) == 20
+        assert sorted(ids) == list(range(20))
+
+    def test_same_seed_reproduces_identical_workload(self, templates, nsm_layout):
+        first = build_streams(templates, nsm_layout, 3, 3, seed=11)
+        second = build_streams(templates, nsm_layout, 3, 3, seed=11)
+        assert first == second
+
+    def test_determinism_is_per_call_not_per_process(self, templates, nsm_layout):
+        # Two consecutive calls with the same seed must not share generator
+        # state: each call re-derives its generator from the seed.
+        first = build_streams(templates, nsm_layout, 2, 2, seed=11)
+        build_streams(templates, nsm_layout, 5, 5, seed=99)
+        third = build_streams(templates, nsm_layout, 2, 2, seed=11)
+        assert first == third
+
+    def test_different_seeds_differ(self, templates, nsm_layout):
+        first = build_streams(templates, nsm_layout, 3, 3, seed=1)
+        second = build_streams(templates, nsm_layout, 3, 3, seed=2)
+        assert first != second
+
+    def test_ranges_stay_inside_table(self, templates, nsm_layout):
+        streams = build_streams(templates, nsm_layout, 6, 6, seed=3)
+        for stream in streams:
+            for spec in stream:
+                assert min(spec.chunks) >= 0
+                assert max(spec.chunks) < nsm_layout.num_chunks
+
+    def test_rejects_empty_template_list(self, nsm_layout):
+        with pytest.raises(ConfigurationError):
+            build_streams((), nsm_layout, 2, 2, seed=1)
+
+    def test_rejects_non_positive_counts(self, templates, nsm_layout):
+        with pytest.raises(ConfigurationError):
+            build_streams(templates, nsm_layout, 0, 2, seed=1)
+        with pytest.raises(ConfigurationError):
+            build_streams(templates, nsm_layout, 2, 0, seed=1)
+        with pytest.raises(ConfigurationError):
+            build_streams(templates, nsm_layout, -1, 2, seed=1)
+
+
+class TestBuildUniformStreams:
+    def test_one_query_per_stream(self, templates, nsm_layout):
+        streams = build_uniform_streams(templates[0], nsm_layout, 5, seed=1)
+        assert len(streams) == 5
+        assert all(len(stream) == 1 for stream in streams)
+        ids = [stream[0].query_id for stream in streams]
+        assert ids == list(range(5))
+
+    def test_all_queries_share_the_template_label(self, templates, nsm_layout):
+        streams = build_uniform_streams(templates[0], nsm_layout, 4, seed=1)
+        labels = {stream[0].name for stream in streams}
+        assert labels == {templates[0].label}
+
+    def test_deterministic(self, templates, nsm_layout):
+        first = build_uniform_streams(templates[1], nsm_layout, 6, seed=5)
+        second = build_uniform_streams(templates[1], nsm_layout, 6, seed=5)
+        assert first == second
+
+    def test_rejects_non_positive_count(self, templates, nsm_layout):
+        with pytest.raises(ConfigurationError):
+            build_uniform_streams(templates[0], nsm_layout, 0, seed=1)
