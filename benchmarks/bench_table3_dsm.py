@@ -56,4 +56,10 @@ def bench_table3_dsm(benchmark):
     assert stats["elevator"].avg_normalized_latency == max(
         stats[p].avg_normalized_latency for p in POLICIES
     )
-    assert stats["normal"].io_requests == max(stats[p].io_requests for p in POLICIES)
+    # normal and attach are the non-sharing baselines (their I/O counts sit
+    # within a hair of each other once same-chunk column blocks are charged
+    # the sequential seek); both cooperative policies save a large fraction
+    # of the baseline I/Os.
+    baseline_ios = min(stats["normal"].io_requests, stats["attach"].io_requests)
+    assert stats["elevator"].io_requests < baseline_ios * 0.8
+    assert stats["relevance"].io_requests < baseline_ios * 0.8

@@ -1,14 +1,19 @@
 """Table 4 — DSM column-overlap experiments on the synthetic 10-column table.
 
-Queries scan 40 % of a 10-attribute relation over 3 adjacent columns; the
+Queries scan 80 % of a 10-attribute relation over 3 adjacent columns; the
 compared configurations vary how much the column sets of concurrent query
 types overlap (fully, partially, or not at all).  Normal and relevance are
-compared, as in the paper's Table 4.
+compared, as in the paper's Table 4.  (The paper scans 40 % ranges over a
+much larger relation; at this reduced scale two random 40 % ranges rarely
+coincide while both scans are active, which drowns the overlap signal, so
+the windows are widened to keep the concurrent-overlap structure of the
+original experiment.)
 
 Expected shape: with a single query type (full column overlap) relevance
-beats normal by a large factor (~4x in the paper); adding column-disjoint or
+saves the most I/O volume (~4x in the paper); adding column-disjoint or
 partially-overlapping query types reduces the sharing opportunity and the
-factor degrades towards ~2x, but relevance keeps winning.
+gain degrades monotonically (~2x in the paper), but relevance keeps
+winning everywhere.
 """
 
 from benchmarks._harness import SCALE, print_banner, run_once
@@ -45,7 +50,7 @@ def _experiment():
     for label, column_sets in overlap_query_sets().items():
         streams = overlap_streams(
             column_sets, layout, num_streams, queries_per_stream,
-            scan_fraction=0.4, cpu_per_chunk=cpu_per_chunk, seed=17,
+            scan_fraction=0.8, cpu_per_chunk=cpu_per_chunk, seed=17,
         )
         runs = compare_dsm_policies(
             streams, config, layout, policies=POLICIES, capacity_pages=capacity_pages
@@ -59,6 +64,7 @@ def _experiment():
         results[label] = {
             policy: {
                 "io": runs[policy].io_requests,
+                "bytes": runs[policy].bytes_read,
                 "latency": runs[policy].average_latency,
             }
             for policy in POLICIES
@@ -69,40 +75,56 @@ def _experiment():
 def bench_table4_overlap(benchmark):
     results = run_once(benchmark, _experiment)
     print_banner("Table 4 — DSM column-overlap experiments (normal vs relevance)")
-    rows = []
-    for label, values in results.items():
-        gain = values["normal"]["io"] / max(1, values["relevance"]["io"])
-        rows.append([
-            label,
-            values["normal"]["io"],
-            round(values["normal"]["latency"], 2),
-            values["relevance"]["io"],
-            round(values["relevance"]["latency"], 2),
-            round(gain, 2),
-        ])
-    print(format_table(
-        ["queries (columns)", "normal I/Os", "normal lat", "relevance I/Os",
-         "relevance lat", "I/O gain"],
-        rows,
-    ))
 
-    # Relevance always wins on I/Os and latency.
-    for label, values in results.items():
-        assert values["relevance"]["io"] <= values["normal"]["io"]
-        assert values["relevance"]["latency"] <= values["normal"]["latency"] * 1.05
-    # Sharing degrades when query types stop overlapping on columns: the
-    # *latency* advantage of relevance is largest with a single query type.
+    def bytes_gain(label: str) -> float:
+        """Relevance's saving in transferred I/O *volume* over normal.
+
+        Chunk-level operation counts are misleading here: relevance merges
+        the column needs of overlapping query types into single union loads,
+        so op counts shrink for *disjoint* mixes even though more bytes move.
+        The paper's Table 4 quantity is the data volume read.
+        """
+        return results[label]["normal"]["bytes"] / max(
+            1, results[label]["relevance"]["bytes"]
+        )
+
     def latency_gain(label: str) -> float:
         return results[label]["normal"]["latency"] / max(
             1e-9, results[label]["relevance"]["latency"]
         )
 
-    gain_full = results["ABC"]["normal"]["io"] / max(1, results["ABC"]["relevance"]["io"])
-    gain_disjoint = results["ABC,DEF"]["normal"]["io"] / max(
-        1, results["ABC,DEF"]["relevance"]["io"]
-    )
-    print(f"\nI/O gain with full overlap {gain_full:.2f}x vs disjoint columns "
-          f"{gain_disjoint:.2f}x (paper: ~4x vs ~2x)")
-    print(f"latency gain with full overlap {latency_gain('ABC'):.2f}x vs disjoint "
-          f"columns {latency_gain('ABC,DEF'):.2f}x")
-    assert latency_gain("ABC") >= latency_gain("ABC,DEF") * 0.95
+    rows = []
+    for label, values in results.items():
+        rows.append([
+            label,
+            round(values["normal"]["bytes"] / 1e9, 2),
+            round(values["normal"]["latency"], 2),
+            round(values["relevance"]["bytes"] / 1e9, 2),
+            round(values["relevance"]["latency"], 2),
+            round(bytes_gain(label), 2),
+            round(latency_gain(label), 2),
+        ])
+    print(format_table(
+        ["queries (columns)", "normal GB", "normal lat", "relevance GB",
+         "relevance lat", "I/O gain", "lat gain"],
+        rows,
+    ))
+    print(f"\nI/O volume gain with full overlap {bytes_gain('ABC'):.2f}x vs "
+          f"disjoint columns {bytes_gain('ABC,DEF'):.2f}x")
+
+    # Relevance always wins on I/O volume and latency.
+    for label, values in results.items():
+        assert values["relevance"]["bytes"] <= values["normal"]["bytes"]
+        assert values["relevance"]["latency"] <= values["normal"]["latency"] * 1.05
+    # Sharing degrades when query types stop overlapping on columns
+    # (Table 4's qualitative claim): along the nested chain that adds one
+    # partially-overlapping query type at a time, relevance's I/O-volume
+    # gain strictly shrinks, and the fully-overlapping single-type mix
+    # beats the column-disjoint mix on both volume and latency gain.
+    nested_chain = ("ABC", "ABC,BCD", "ABC,BCD,CDE", "ABC,BCD,CDE,DEF")
+    for tighter, looser in zip(nested_chain, nested_chain[1:]):
+        assert bytes_gain(tighter) > bytes_gain(looser), (
+            f"I/O gain should degrade from {tighter!r} to {looser!r}"
+        )
+    assert bytes_gain("ABC") > bytes_gain("ABC,DEF")
+    assert latency_gain("ABC") > latency_gain("ABC,DEF")

@@ -35,6 +35,7 @@ from repro.common.config import (
     SystemConfig,
     ServiceConfig,
     ADMISSION_DISCIPLINES,
+    VOLUME_PLACEMENTS,
     PAPER_NSM_SYSTEM,
     PAPER_DSM_SYSTEM,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "SystemConfig",
     "ServiceConfig",
     "ADMISSION_DISCIPLINES",
+    "VOLUME_PLACEMENTS",
     "PAPER_NSM_SYSTEM",
     "PAPER_DSM_SYSTEM",
 ]

@@ -15,6 +15,9 @@ from typing import Any, Dict, Optional
 from repro.common.errors import ConfigurationError
 from repro.common.units import MB
 
+#: Chunk placement schemes understood by the multi-volume disk subsystem.
+VOLUME_PLACEMENTS = ("striped", "range")
+
 
 @dataclass(frozen=True)
 class DiskConfig:
@@ -23,7 +26,7 @@ class DiskConfig:
     Attributes
     ----------
     bandwidth_bytes_per_s:
-        Sustained sequential bandwidth of the (RAID) volume.
+        Sustained sequential bandwidth of one volume.
     avg_seek_s:
         Average positioning cost paid when the next chunk is not physically
         adjacent to the previously read one.
@@ -31,16 +34,26 @@ class DiskConfig:
         Positioning cost paid when the next chunk *is* adjacent (track-to-track
         switch); usually close to zero.
     spindles:
-        Number of independent spindles.  The chunk-granularity model issues one
-        chunk load at a time, so spindles only scale the effective bandwidth
-        (the paper's 4-way RAID behaves like one fast sequential device for
-        chunk-sized requests).
+        Number of spindles striped *inside* one volume.  Spindles only scale a
+        volume's effective bandwidth (the paper's 4-way RAID behaves like one
+        fast sequential device for chunk-sized requests).
+    volumes:
+        Number of independent volumes, each with its own head position and
+        its own ``bandwidth_bytes_per_s``.  Unlike ``spindles``, volumes serve
+        requests concurrently (one in-flight load per volume).  ``volumes=1``
+        reproduces the classic single-disk model exactly.
+    placement:
+        How logical chunks map onto volumes: ``"striped"`` (chunk *i* lives on
+        volume ``i % volumes``) or ``"range"`` (contiguous chunk ranges per
+        volume).
     """
 
     bandwidth_bytes_per_s: float = 200.0 * MB
     avg_seek_s: float = 0.008
     sequential_seek_s: float = 0.001
     spindles: int = 1
+    volumes: int = 1
+    placement: str = "striped"
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_per_s <= 0:
@@ -49,11 +62,29 @@ class DiskConfig:
             raise ConfigurationError("seek times must be non-negative")
         if self.spindles < 1:
             raise ConfigurationError("spindles must be >= 1")
+        if self.volumes < 1:
+            raise ConfigurationError("volumes must be >= 1")
+        if self.placement not in VOLUME_PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown volume placement {self.placement!r}; "
+                f"expected one of {VOLUME_PLACEMENTS}"
+            )
+
+    def with_volumes(self, volumes: int, placement: Optional[str] = None) -> "DiskConfig":
+        """Return a copy of this configuration with a different volume count."""
+        return replace(
+            self, volumes=volumes, placement=placement or self.placement
+        )
 
     @property
     def effective_bandwidth(self) -> float:
-        """Aggregate sequential bandwidth over all spindles (bytes/s)."""
+        """Sequential bandwidth of one volume over all its spindles (bytes/s)."""
         return self.bandwidth_bytes_per_s * self.spindles
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Aggregate sequential bandwidth over all volumes (bytes/s)."""
+        return self.effective_bandwidth * self.volumes
 
 
 @dataclass(frozen=True)
@@ -147,11 +178,17 @@ class SystemConfig:
         """Return a copy of this configuration with a different buffer capacity."""
         return replace(self, buffer=replace(self.buffer, capacity_chunks=capacity_chunks))
 
+    def with_volumes(self, volumes: int, placement: Optional[str] = None) -> "SystemConfig":
+        """Return a copy of this configuration with a different volume count."""
+        return replace(self, disk=self.disk.with_volumes(volumes, placement))
+
     def describe(self) -> Dict[str, Any]:
         """Return a flat dictionary describing the configuration (for reports)."""
         return {
             "disk_bandwidth_MBps": self.disk.effective_bandwidth / MB,
             "disk_avg_seek_ms": self.disk.avg_seek_s * 1000.0,
+            "disk_volumes": self.disk.volumes,
+            "volume_placement": self.disk.placement,
             "cpu_cores": self.cpu.cores,
             "chunk_MB": self.buffer.chunk_bytes / MB,
             "page_KB": self.buffer.page_bytes / 1024,

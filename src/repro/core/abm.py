@@ -46,6 +46,11 @@ class _BaseABM:
         #: Total number of chunk consumptions served from already-buffered
         #: data without triggering a load for that query.
         self.buffer_hits: int = 0
+        #: Load operations issued but not yet completed.  With a single-volume
+        #: disk this is 0 or 1; a multi-volume driver keeps up to one load in
+        #: flight per volume, so the ABM must tolerate (and the pools already
+        #: account for) several concurrent loads.
+        self.pending_loads: int = 0
 
     # ------------------------------------------------------------ queries
     def register(self, request: ScanRequest, now: float) -> CScanHandle:
@@ -227,6 +232,7 @@ class ActiveBufferManager(_BaseABM):
             evicted = tuple(victims)
         self.pool.start_load(chunk)
         self.io_requests += 1
+        self.pending_loads += 1
         self.loads_triggered[query_id] = self.loads_triggered.get(query_id, 0) + 1
         return LoadOperation(
             chunk=chunk,
@@ -237,6 +243,9 @@ class ActiveBufferManager(_BaseABM):
 
     def complete_load(self, operation: LoadOperation, now: float) -> List[int]:
         """Mark a load as finished; returns the blocked queries it may wake."""
+        if self.pending_loads <= 0:
+            raise SchedulingError("complete_load without a matching next_load")
+        self.pending_loads -= 1
         self.pool.complete_load(operation.chunk, now)
         self.policy.on_chunk_loaded(operation.chunk, now)
         return [
@@ -424,6 +433,7 @@ class DSMActiveBufferManager(_BaseABM):
         # of a chunk are issued together with scatter-gather I/O), which keeps
         # the counter comparable with the NSM experiments and with Table 3.
         self.io_requests += 1
+        self.pending_loads += 1
         self.column_block_requests += len(blocks)
         self.loads_triggered[query_id] = self.loads_triggered.get(query_id, 0) + 1
         return DSMLoadOperation(
@@ -435,6 +445,9 @@ class DSMActiveBufferManager(_BaseABM):
 
     def complete_load(self, operation: DSMLoadOperation, now: float) -> List[int]:
         """Mark a DSM load as finished; returns blocked queries it may wake."""
+        if self.pending_loads <= 0:
+            raise SchedulingError("complete_load without a matching next_load")
+        self.pending_loads -= 1
         for block in operation.blocks:
             self.pool.complete_load((operation.chunk, block.column), now)
         self.policy.on_chunk_loaded(operation.chunk, now)

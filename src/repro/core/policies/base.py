@@ -160,10 +160,22 @@ class DSMSchedulingPolicy(_PolicyBase):
         ]
 
     def _lru_block_victims(
-        self, pages_short: int, protect_chunks: Sequence[int] = ()
+        self,
+        pages_short: int,
+        protect_chunks: Sequence[int] = (),
+        exclude_keys: Sequence[BlockKey] = (),
     ) -> Optional[List[BlockKey]]:
-        """Free at least ``pages_short`` pages by evicting LRU blocks."""
+        """Free at least ``pages_short`` pages by evicting LRU blocks.
+
+        ``exclude_keys`` skips blocks a caller has already claimed in an
+        earlier eviction pass.
+        """
         candidates = self._evictable_blocks(protect_chunks)
+        if exclude_keys:
+            excluded = set(exclude_keys)
+            candidates = [
+                block for block in candidates if block.key not in excluded
+            ]
         candidates.sort(key=lambda block: block.last_used)
         victims: List[BlockKey] = []
         freed = 0

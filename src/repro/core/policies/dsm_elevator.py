@@ -92,4 +92,28 @@ class DSMElevatorPolicy(DSMSchedulingPolicy):
             freed += block.pages
             if freed >= pages_short:
                 return victims
-        return None
+        # Stalling the cursor (returning None) is the authentic elevator
+        # behaviour, and it is safe as long as the system can still make
+        # progress without this load: some query is crunching a chunk, has a
+        # ready chunk to pick up next, or another load is already in flight
+        # (its completion re-enters the scheduler).
+        if abm.pending_loads > 0:
+            return None
+        for handle in abm.active_handles():
+            if handle.is_processing or abm.num_available_chunks(handle) > 0:
+                return None
+        # Last resort: nobody can progress.  Unlike NSM — where a buffered
+        # chunk someone needs is always consumable — a DSM pool can fill up
+        # with *partial* chunks that are needed by everyone yet ready for no
+        # one; refusing to evict them would deadlock the run (reachable once
+        # a multi-volume disk commits several loads per round).  Evict LRU
+        # blocks even if still needed; the cursor re-reads them on its next
+        # revolution.
+        remaining = self._lru_block_victims(
+            pages_short - freed,
+            protect_chunks=(incoming_chunk,),
+            exclude_keys=victims,
+        )
+        if remaining is None:
+            return None
+        return victims + remaining

@@ -1,19 +1,25 @@
 """Disk subsystem: timing model, request records and access traces.
 
-The simulated disk serves one chunk-granularity request at a time (the paper
-uses large isolated I/O requests precisely so that concurrent scans do not
-degenerate into random page I/O).  Request timing follows a simple
-seek + transfer model; every served request is recorded in an
+The simulated disk serves one chunk-granularity request at a time *per
+volume* (the paper uses large isolated I/O requests precisely so that
+concurrent scans do not degenerate into random page I/O).  A
+:class:`repro.disk.multivolume.MultiVolumeDisk` keeps one independent
+:class:`repro.disk.model.DiskModel` head per volume; with the default single
+volume the subsystem behaves exactly like the classic lone disk.  Request
+timing follows a simple seek + transfer model; every served request is
+recorded in an
 :class:`repro.disk.trace.IOTrace`, which is what the Figure 4 benchmark plots
 (chunk number against completion time, one series per scheduling policy).
 """
 
 from repro.disk.model import DiskModel
+from repro.disk.multivolume import MultiVolumeDisk
 from repro.disk.request import IORequest, RequestKind
 from repro.disk.trace import IOTrace, TraceEvent
 
 __all__ = [
     "DiskModel",
+    "MultiVolumeDisk",
     "IORequest",
     "RequestKind",
     "IOTrace",

@@ -17,7 +17,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.config import DiskConfig
+from repro.common.errors import SimulationError
 from repro.disk.request import IORequest
+
+#: Tolerance for busy-time accounting checks (absolute and relative).
+_UTILISATION_EPS = 1e-9
 
 
 @dataclass
@@ -33,23 +37,39 @@ class DiskModel:
     config: DiskConfig = field(default_factory=DiskConfig)
     last_chunk: Optional[int] = None
     requests_served: int = 0
+    sequential_requests: int = 0
     bytes_transferred: int = 0
     busy_time: float = 0.0
+
+    def is_sequential(self, chunk: int) -> bool:
+        """Whether reading ``chunk`` next avoids the full positioning cost.
+
+        Both the *next* physical chunk and the *same* chunk count: the head is
+        already positioned there, so back-to-back reads of one chunk — the
+        common case for consecutive DSM column blocks of a single logical
+        chunk — only pay the track/rotation cost, not a full average seek.
+        """
+        return self.last_chunk is not None and (
+            chunk == self.last_chunk or chunk == self.last_chunk + 1
+        )
 
     def service_time(self, request: IORequest) -> float:
         """Time to serve ``request`` given the current head position.
 
         Does not mutate state; :meth:`serve` does.
         """
-        sequential = self.last_chunk is not None and request.chunk == self.last_chunk + 1
         seek = (
-            self.config.sequential_seek_s if sequential else self.config.avg_seek_s
+            self.config.sequential_seek_s
+            if self.is_sequential(request.chunk)
+            else self.config.avg_seek_s
         )
         return seek + request.num_bytes / self.config.effective_bandwidth
 
     def serve(self, request: IORequest) -> float:
         """Serve a request: update statistics and return its service time."""
         duration = self.service_time(request)
+        if self.is_sequential(request.chunk):
+            self.sequential_requests += 1
         self.last_chunk = request.chunk
         self.requests_served += 1
         self.bytes_transferred += request.num_bytes
@@ -60,13 +80,31 @@ class DiskModel:
         """Clear head position and statistics (start of a new run)."""
         self.last_chunk = None
         self.requests_served = 0
+        self.sequential_requests = 0
         self.bytes_transferred = 0
         self.busy_time = 0.0
 
+    def sequential_fraction(self) -> float:
+        """Fraction of served requests that avoided the full seek."""
+        if self.requests_served <= 0:
+            return 0.0
+        return self.sequential_requests / self.requests_served
+
     def utilisation(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` time the disk spent transferring data."""
+        """Fraction of ``elapsed`` time the disk spent transferring data.
+
+        Raises :class:`SimulationError` when the accumulated busy time
+        exceeds the elapsed wall-clock time (beyond floating-point noise):
+        a disk cannot be more than 100% busy, so an overshoot always means
+        the caller double-counted service time and must not be masked.
+        """
         if elapsed <= 0:
             return 0.0
+        if self.busy_time > elapsed * (1.0 + _UTILISATION_EPS) + _UTILISATION_EPS:
+            raise SimulationError(
+                f"disk busy time {self.busy_time:.9f}s exceeds elapsed "
+                f"{elapsed:.9f}s: busy-time accounting is broken"
+            )
         return min(1.0, self.busy_time / elapsed)
 
     def achieved_bandwidth(self) -> float:

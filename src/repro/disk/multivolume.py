@@ -1,0 +1,133 @@
+"""A disk subsystem of several independent volumes.
+
+The single :class:`repro.disk.model.DiskModel` collapses the paper's 4-way
+RAID into one fast sequential device.  :class:`MultiVolumeDisk` instead owns
+one ``DiskModel`` head *per volume* and routes every request to the volume
+holding its chunk (via a :class:`repro.storage.volumes.VolumeLayout`), so:
+
+* each volume keeps its own head position — seek accounting is per volume,
+  and striped layouts stay sequential *within* a volume (chunk ``i`` and
+  chunk ``i + V`` are adjacent on their shared volume);
+* volumes serve requests concurrently — the simulator keeps one load in
+  flight per volume instead of one global load;
+* statistics aggregate across volumes but remain inspectable per volume
+  (:meth:`per_volume_utilisation` feeds the service layer's SLO reports).
+
+With one volume the subsystem is bit-for-bit identical to a bare
+``DiskModel``: the layout maps every chunk to volume 0 at an unchanged local
+position, and all requests serialise on that single head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from repro.common.config import DiskConfig
+from repro.disk.model import DiskModel
+from repro.disk.request import IORequest
+from repro.storage.volumes import VolumeLayout
+
+
+class MultiVolumeDisk:
+    """One independent :class:`DiskModel` head per volume."""
+
+    def __init__(self, config: DiskConfig, layout: VolumeLayout) -> None:
+        if layout.num_volumes != config.volumes:
+            raise ValueError(
+                f"volume layout has {layout.num_volumes} volumes but the disk "
+                f"configuration declares {config.volumes}"
+            )
+        self.config = config
+        self.layout = layout
+        self.volumes: List[DiskModel] = [
+            DiskModel(config) for _ in range(layout.num_volumes)
+        ]
+
+    # ------------------------------------------------------------ routing
+    @property
+    def num_volumes(self) -> int:
+        """Number of independent volumes."""
+        return len(self.volumes)
+
+    def volume_of(self, chunk: int) -> int:
+        """Volume that serves requests for the given logical chunk."""
+        return self.layout.volume_of(chunk)
+
+    def service_time(self, request: IORequest) -> float:
+        """Time the owning volume would need to serve ``request`` now."""
+        return self._model_for(request.chunk).service_time(self._localise(request))
+
+    def serve(self, request: IORequest) -> float:
+        """Serve ``request`` on the volume owning its chunk.
+
+        Returns the service time.  The caller is responsible for only having
+        one request in service per volume at a time (the volume has a single
+        head); the simulator enforces this with per-volume in-flight slots.
+        """
+        return self._model_for(request.chunk).serve(self._localise(request))
+
+    def _model_for(self, chunk: int) -> DiskModel:
+        return self.volumes[self.layout.volume_of(chunk)]
+
+    def _localise(self, request: IORequest) -> IORequest:
+        """Rewrite the chunk id to its volume-local position.
+
+        The per-volume head tracks *physical* adjacency on that volume, so
+        consecutive local indices (e.g. chunks ``i`` and ``i + V`` under
+        striping) are charged the sequential seek.
+        """
+        local = self.layout.local_index(request.chunk)
+        if local == request.chunk:
+            return request
+        return replace(request, chunk=local)
+
+    # --------------------------------------------------------- statistics
+    @property
+    def requests_served(self) -> int:
+        """Requests served across all volumes."""
+        return sum(model.requests_served for model in self.volumes)
+
+    @property
+    def sequential_requests(self) -> int:
+        """Requests that avoided a full seek, across all volumes."""
+        return sum(model.sequential_requests for model in self.volumes)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Bytes transferred across all volumes."""
+        return sum(model.bytes_transferred for model in self.volumes)
+
+    @property
+    def busy_time(self) -> float:
+        """Total head busy time summed over all volumes."""
+        return sum(model.busy_time for model in self.volumes)
+
+    def sequential_fraction(self) -> float:
+        """Fraction of all requests that avoided the full seek."""
+        served = self.requests_served
+        if served <= 0:
+            return 0.0
+        return self.sequential_requests / served
+
+    def utilisation(self, elapsed: float) -> float:
+        """Mean busy fraction over all volumes (1.0 = every head always busy)."""
+        if elapsed <= 0 or not self.volumes:
+            return 0.0
+        return sum(self.per_volume_utilisation(elapsed)) / self.num_volumes
+
+    def per_volume_utilisation(self, elapsed: float) -> Tuple[float, ...]:
+        """Busy fraction of each volume over ``elapsed`` seconds."""
+        return tuple(model.utilisation(elapsed) for model in self.volumes)
+
+    def achieved_bandwidth(self) -> float:
+        """Aggregate bandwidth over the summed busy time (bytes/s)."""
+        busy = self.busy_time
+        if busy <= 0:
+            return 0.0
+        return self.bytes_transferred / busy
+
+    def reset(self) -> None:
+        """Clear every volume's head position and statistics."""
+        for model in self.volumes:
+            model.reset()

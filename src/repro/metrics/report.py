@@ -63,13 +63,14 @@ def render_policy_comparison(
         ("Avg. normalized latency", "avg_normalized_latency"),
         ("Total time", "total_time"),
         ("CPU use", "cpu_use"),
+        ("Disk use", "disk_use"),
         ("I/O requests", "io_requests"),
     )
     for label, key in metrics:
         row = [label]
         for policy in names:
             value = stats[policy].as_dict()[key]
-            if key == "cpu_use":
+            if key in ("cpu_use", "disk_use"):
                 row.append(f"{value * 100:.1f}%")
             elif key == "io_requests":
                 row.append(int(value))

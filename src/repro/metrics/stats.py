@@ -154,6 +154,8 @@ class SystemStats:
     total_time: float
     cpu_use: float
     io_requests: int
+    #: Mean busy fraction over all disk volumes (0.0 for hand-built results).
+    disk_use: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary (used by reports and EXPERIMENTS.md generation)."""
@@ -163,6 +165,7 @@ class SystemStats:
             "total_time": self.total_time,
             "cpu_use": self.cpu_use,
             "io_requests": float(self.io_requests),
+            "disk_use": self.disk_use,
         }
 
 
@@ -177,6 +180,7 @@ def summarise_run(
         total_time=result.total_time,
         cpu_use=result.cpu_utilisation,
         io_requests=result.io_requests,
+        disk_use=result.disk_utilisation,
     )
 
 

@@ -32,7 +32,12 @@ from repro.service.server import (
     run_service,
     compare_service_policies,
 )
-from repro.service.slo import SLOReport, build_slo_report, render_slo_table
+from repro.service.slo import (
+    SLOReport,
+    build_slo_report,
+    render_slo_table,
+    render_volume_utilisation,
+)
 
 __all__ = [
     "Arrival",
@@ -48,4 +53,5 @@ __all__ = [
     "SLOReport",
     "build_slo_report",
     "render_slo_table",
+    "render_volume_utilisation",
 ]

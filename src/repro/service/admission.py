@@ -26,7 +26,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.common.config import ServiceConfig
+from repro.common.config import ADMISSION_DISCIPLINES, ServiceConfig
+from repro.common.errors import ConfigurationError
 from repro.core.cscan import ScanRequest
 
 
@@ -51,7 +52,20 @@ class AdmissionController:
     """Bounded-MPL admission queue with FIFO / shortest-job-first order."""
 
     def __init__(self, config: ServiceConfig) -> None:
+        # ``ServiceConfig`` validates the discipline too, but a controller can
+        # be handed a config built around that validation (tests, subclassed
+        # configs); re-checking here guarantees ``_push``/``_pop`` agree on a
+        # single queue rather than silently mixing orders.
+        if config.discipline not in ADMISSION_DISCIPLINES:
+            raise ConfigurationError(
+                f"unknown admission discipline {config.discipline!r}; "
+                f"expected one of {ADMISSION_DISCIPLINES}"
+            )
         self.config = config
+        #: Single switch consulted by both ``_push`` and ``_pop``, fixed at
+        #: construction: either every entry goes through the heap or every
+        #: entry goes through the FIFO, never a mixture.
+        self._use_heap = config.discipline == "priority"
         self.active = 0
         self.offered = 0
         self.admitted = 0
@@ -126,15 +140,17 @@ class AdmissionController:
 
     # -------------------------------------------------------------- plumbing
     def _push(self, entry: QueuedQuery) -> None:
-        if self.config.discipline == "priority":
+        if self._use_heap:
             heapq.heappush(self._heap, (_job_size(entry.spec), self._seq, entry))
             self._seq += 1
         else:
             self._fifo.append(entry)
 
     def _pop(self) -> Optional[QueuedQuery]:
-        if self._heap:
-            return heapq.heappop(self._heap)[2]
+        if self._use_heap:
+            if self._heap:
+                return heapq.heappop(self._heap)[2]
+            return None
         if self._fifo:
             return self._fifo.popleft()
         return None

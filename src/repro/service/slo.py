@@ -18,7 +18,7 @@ one row per policy in the style of the paper's tables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.report import format_table
 from repro.metrics.stats import LatencySummary
@@ -40,6 +40,15 @@ class SLOReport:
     latency: LatencySummary
     queue_wait: LatencySummary
     execution: LatencySummary
+    #: Mean busy fraction over all disk volumes during the run.
+    disk_utilisation: float = 0.0
+    #: Busy fraction of each individual disk volume (one entry per volume).
+    volume_utilisation: Tuple[float, ...] = ()
+
+    @property
+    def num_volumes(self) -> int:
+        """Number of disk volumes the run was served from."""
+        return max(1, len(self.volume_utilisation))
 
     @property
     def shed_rate(self) -> float:
@@ -79,6 +88,12 @@ class SLOReport:
             "queue_wait_p95": self.queue_wait.p95,
             "queue_wait_mean": self.queue_wait.mean,
             "execution_p95": self.execution.p95,
+            "disk_utilisation": self.disk_utilisation,
+            "num_volumes": float(self.num_volumes),
+            **{
+                f"volume_{index}_utilisation": value
+                for index, value in enumerate(self.volume_utilisation)
+            },
         }
 
 
@@ -115,6 +130,8 @@ def build_slo_report(
         execution=LatencySummary.from_values(
             [query.latency for query in queries]
         ),
+        disk_utilisation=result.disk_utilisation,
+        volume_utilisation=tuple(result.volume_utilisation),
     )
 
 
@@ -125,7 +142,7 @@ def render_slo_table(
     """One row per policy: throughput, tail latencies, queue wait, shed rate."""
     headers = [
         "policy", "offered", "done", "shed%", "tput q/s",
-        "lat p50", "lat p95", "lat p99", "wait p95", "maxQ",
+        "lat p50", "lat p95", "lat p99", "wait p95", "maxQ", "disk%",
     ]
     rows: List[List[object]] = []
     for report in reports:
@@ -141,6 +158,27 @@ def render_slo_table(
                 round(report.latency.p99, 2),
                 round(report.queue_wait.p95, 2),
                 report.max_queue_len,
+                round(100.0 * report.disk_utilisation, 1),
             ]
         )
+    return format_table(headers, rows, title=title)
+
+
+def render_volume_utilisation(
+    reports: Sequence[SLOReport],
+    title: Optional[str] = "Per-volume disk utilisation",
+) -> str:
+    """One row per policy, one column per disk volume (busy percentages)."""
+    num_volumes = max((report.num_volumes for report in reports), default=1)
+    headers = ["policy"] + [f"vol{index}%" for index in range(num_volumes)]
+    rows: List[List[object]] = []
+    for report in reports:
+        utilisation = list(report.volume_utilisation) or [report.disk_utilisation]
+        row: List[object] = [report.policy]
+        for index in range(num_volumes):
+            if index < len(utilisation):
+                row.append(round(100.0 * utilisation[index], 1))
+            else:
+                row.append("-")
+        rows.append(row)
     return format_table(headers, rows, title=title)

@@ -3,8 +3,10 @@
 The simulator drives an Active Buffer Manager with a workload of query
 streams, modelling:
 
-* a single disk that serves one chunk-granularity load at a time
-  (seek + transfer, :class:`repro.disk.DiskModel`),
+* a disk subsystem of one or more independent volumes, each serving one
+  chunk-granularity load at a time (seek + transfer,
+  :class:`repro.disk.MultiVolumeDisk`; one volume behaves exactly like the
+  classic lone :class:`repro.disk.DiskModel`),
 * a CPU with a fixed number of cores shared by all queries that currently
   have data to process (processor sharing),
 * query streams that execute their queries sequentially and start with a

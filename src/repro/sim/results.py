@@ -9,7 +9,7 @@ the number of I/O requests, plus the raw I/O trace for Figure 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.disk.trace import IOTrace
 
@@ -91,6 +91,15 @@ class RunResult:
     scheduling_seconds: float = 0.0
     num_chunks: int = 0
     config: Dict[str, object] = field(default_factory=dict)
+    #: Mean busy fraction over all disk volumes (one volume: plain disk
+    #: utilisation).
+    disk_utilisation: float = 0.0
+    #: Busy fraction of each disk volume over the run (empty when the runner
+    #: did not attach disk statistics, e.g. hand-built results).
+    volume_utilisation: Tuple[float, ...] = ()
+    #: Fraction of disk requests that avoided a full seek (per-volume
+    #: sequential or same-chunk accesses) — the seek-amortisation measure.
+    disk_sequential_fraction: float = 0.0
 
     # ------------------------------------------------------------ aggregates
     @property

@@ -2,8 +2,11 @@
 
 The simulator owns three resources:
 
-* the **disk**: a single device serving one chunk-granularity load operation
-  at a time, timed by :class:`repro.disk.DiskModel`;
+* the **disk**: one or more independent volumes, each serving one
+  chunk-granularity load operation at a time, timed by
+  :class:`repro.disk.MultiVolumeDisk` (a single volume reproduces the classic
+  lone :class:`repro.disk.DiskModel` exactly); chunks map onto volumes through
+  a :class:`repro.storage.volumes.VolumeLayout`;
 * the **CPU**: ``cores`` processors shared (processor sharing) by every query
   that currently has a chunk to crunch;
 * the **ABM**: the Active Buffer Manager under test, which decides what the
@@ -30,19 +33,21 @@ policy it always produces the same result.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Union
 
 from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
 from repro.core.abm import ActiveBufferManager, DSMActiveBufferManager
 from repro.core.cscan import ScanRequest
 from repro.core.ops import DSMLoadOperation, LoadOperation
-from repro.disk.model import DiskModel
+from repro.disk.multivolume import MultiVolumeDisk
 from repro.disk.request import IORequest, RequestKind
 from repro.disk.trace import IOTrace
 from repro.sim.results import QueryResult, RunResult
 from repro.sim.source import AdmittedQuery, ClosedStreamSource, QuerySource
+from repro.storage.volumes import VolumeLayout
 
 AnyABM = Union[ActiveBufferManager, DSMActiveBufferManager]
 AnyLoadOp = Union[LoadOperation, DSMLoadOperation]
@@ -87,15 +92,23 @@ class ScanSimulator:
             raise SimulationError("query source is empty or already consumed")
         self._config = config
         self._abm = abm
-        self._disk = DiskModel(config.disk)
+        self._volume_layout = VolumeLayout.from_disk_config(
+            config.disk, abm.num_chunks
+        )
+        self._disk = MultiVolumeDisk(config.disk, self._volume_layout)
+        self._num_volumes = self._disk.num_volumes
         self._trace = IOTrace() if record_trace else None
 
         self._now = 0.0
         self._queries: Dict[int, _QueryRun] = {}
         self._running: Dict[int, _QueryRun] = {}
         self._blocked: Set[int] = set()
-        self._inflight: Optional[AnyLoadOp] = None
-        self._disk_done: float = 0.0
+        #: One in-flight load operation per busy volume.
+        self._inflight: Dict[int, AnyLoadOp] = {}
+        #: Completion time of each busy volume's in-flight operation.
+        self._disk_done: Dict[int, float] = {}
+        #: Issued operations waiting for their (busy) volume, per volume.
+        self._pending_io: Dict[int, Deque[AnyLoadOp]] = {}
         self._query_results: List[QueryResult] = []
         self._started = 0
         self._finished = 0
@@ -134,8 +147,8 @@ class ScanSimulator:
         arrival = self._source.next_event_time()
         if arrival is not None:
             candidates.append(arrival)
-        if self._inflight is not None:
-            candidates.append(self._disk_done)
+        if self._inflight:
+            candidates.append(min(self._disk_done.values()))
         if self._running:
             rate = self._config.cpu.rate_per_query(len(self._running))
             shortest = min(run.remaining_work for run in self._running.values())
@@ -154,31 +167,37 @@ class ScanSimulator:
         self._now = next_time
 
     def _process_disk_completion(self) -> None:
-        if self._inflight is None or self._disk_done > self._now + _EPS:
-            return
-        operation = self._inflight
-        self._inflight = None
-        if self._trace is not None:
-            if isinstance(operation, DSMLoadOperation):
-                for block in operation.blocks:
+        due = sorted(
+            volume
+            for volume, done in self._disk_done.items()
+            if done <= self._now + _EPS
+        )
+        for volume in due:
+            operation = self._inflight.pop(volume)
+            del self._disk_done[volume]
+            if self._trace is not None:
+                if isinstance(operation, DSMLoadOperation):
+                    for block in operation.blocks:
+                        self._trace.record(
+                            time=self._now,
+                            chunk=operation.chunk,
+                            num_bytes=block.num_bytes,
+                            triggered_by=operation.triggered_by,
+                            column=block.column,
+                        )
+                else:
                     self._trace.record(
                         time=self._now,
                         chunk=operation.chunk,
-                        num_bytes=block.num_bytes,
+                        num_bytes=operation.num_bytes,
                         triggered_by=operation.triggered_by,
-                        column=block.column,
                     )
-            else:
-                self._trace.record(
-                    time=self._now,
-                    chunk=operation.chunk,
-                    num_bytes=operation.num_bytes,
-                    triggered_by=operation.triggered_by,
-                )
-        woken = self._timed(lambda: self._abm.complete_load(operation, self._now))
-        for query_id in woken:
-            if query_id in self._blocked:
-                self._dispatch(query_id)
+            woken = self._timed(
+                lambda op=operation: self._abm.complete_load(op, self._now)
+            )
+            for query_id in woken:
+                if query_id in self._blocked:
+                    self._dispatch(query_id)
 
     def _process_cpu_completions(self) -> None:
         completed = [
@@ -202,11 +221,30 @@ class ScanSimulator:
             self._scheduling_seconds += time.perf_counter() - started
 
     def _kick_disk(self) -> None:
-        if self._inflight is not None:
-            return
-        operation = self._timed(lambda: self._abm.next_load(self._now))
-        if operation is None:
-            return
+        # Volumes freed by a completion first pick up their queued operations.
+        for volume in sorted(self._pending_io):
+            queue = self._pending_io[volume]
+            if queue and volume not in self._inflight:
+                self._begin_io(volume, queue.popleft())
+        # Then pull fresh loads from the ABM while any volume head is idle,
+        # so a decision stream that happens to target one busy volume cannot
+        # starve the others.  Operations for a busy volume queue at that
+        # volume (its request queue; bounded by the buffer pool, since every
+        # issued load holds a slot reservation until it completes).  With a
+        # single volume this degenerates to the classic one-load-at-a-time
+        # loop: the first issued load makes the only volume busy.
+        while len(self._inflight) < self._num_volumes:
+            operation = self._timed(lambda: self._abm.next_load(self._now))
+            if operation is None:
+                return
+            volume = self._disk.volume_of(operation.chunk)
+            if volume in self._inflight:
+                self._pending_io.setdefault(volume, deque()).append(operation)
+            else:
+                self._begin_io(volume, operation)
+
+    def _begin_io(self, volume: int, operation: AnyLoadOp) -> None:
+        """Start serving one load operation on an idle volume."""
         if isinstance(operation, DSMLoadOperation):
             # Each column block is a separate physical request (different
             # column files), so each pays its own positioning cost.
@@ -230,8 +268,8 @@ class ScanSimulator:
                     triggered_by=operation.triggered_by,
                 )
             )
-        self._inflight = operation
-        self._disk_done = self._now + duration
+        self._inflight[volume] = operation
+        self._disk_done[volume] = self._now + duration
 
     def _start_query(self, admitted: AdmittedQuery) -> None:
         spec = admitted.spec
@@ -320,6 +358,9 @@ class ScanSimulator:
             scheduling_seconds=self._scheduling_seconds,
             num_chunks=self._abm.num_chunks,
             config=self._config.describe(),
+            disk_utilisation=self._disk.utilisation(total_time),
+            volume_utilisation=self._disk.per_volume_utilisation(total_time),
+            disk_sequential_fraction=self._disk.sequential_fraction(),
         )
 
 

@@ -14,6 +14,8 @@ provides that shape:
   are logical tuple ranges with per-column physical page footprints,
 * :mod:`repro.storage.zonemap` -- per-chunk min/max metadata used to turn
   range predicates into (possibly non-contiguous) chunk sets,
+* :mod:`repro.storage.volumes` -- chunk-to-volume placement (striped or
+  range-partitioned) for the multi-volume disk subsystem,
 * :mod:`repro.storage.catalog` -- a simple named-table catalog.
 """
 
@@ -28,6 +30,7 @@ from repro.storage.compression import (
 )
 from repro.storage.nsm import NSMTableLayout
 from repro.storage.dsm import DSMTableLayout, ColumnChunkBlock
+from repro.storage.volumes import VolumeLayout
 from repro.storage.zonemap import ZoneMap, build_zonemap
 from repro.storage.catalog import Catalog
 
@@ -44,6 +47,7 @@ __all__ = [
     "NSMTableLayout",
     "DSMTableLayout",
     "ColumnChunkBlock",
+    "VolumeLayout",
     "ZoneMap",
     "build_zonemap",
     "Catalog",

@@ -1,0 +1,118 @@
+"""Chunk-to-volume placement for the multi-volume disk subsystem.
+
+The paper's benchmark machine runs on a 4-way RAID; the original single-disk
+model collapsed that into "one fast sequential device" by scaling bandwidth.
+A :class:`VolumeLayout` instead maps every logical chunk onto one of several
+*independent* volumes, each with its own disk head, so the simulator can keep
+one load in flight per volume:
+
+* ``"striped"`` placement puts chunk ``i`` on volume ``i % num_volumes``
+  (round-robin, the classic RAID-0 layout at chunk granularity) — a table
+  scan keeps every volume busy;
+* ``"range"`` placement gives each volume one contiguous chunk range (the
+  partitioned layout of a sharded table) — a narrow range scan hits few
+  volumes, but concurrent scans over different ranges parallelise perfectly.
+
+For seek accounting the interesting quantity is the *volume-local* position
+of a chunk: two chunks that are consecutive on the same volume (``i`` and
+``i + num_volumes`` under striping, ``i`` and ``i + 1`` inside a range) are
+physically adjacent there and only pay the track-to-track seek.
+:meth:`VolumeLayout.local_index` performs that translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.config import VOLUME_PLACEMENTS, DiskConfig
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VolumeLayout:
+    """Deterministic mapping of logical chunks onto disk volumes.
+
+    Attributes
+    ----------
+    num_chunks:
+        Number of logical chunks of the table being placed.
+    num_volumes:
+        Number of independent volumes.
+    placement:
+        ``"striped"`` or ``"range"`` (see module docstring).
+    """
+
+    num_chunks: int
+    num_volumes: int = 1
+    placement: str = "striped"
+
+    def __post_init__(self) -> None:
+        if self.num_chunks < 1:
+            raise ConfigurationError("volume layout needs at least one chunk")
+        if self.num_volumes < 1:
+            raise ConfigurationError("volume layout needs at least one volume")
+        if self.placement not in VOLUME_PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown volume placement {self.placement!r}; "
+                f"expected one of {VOLUME_PLACEMENTS}"
+            )
+
+    @classmethod
+    def from_disk_config(cls, disk: DiskConfig, num_chunks: int) -> "VolumeLayout":
+        """Build the layout described by a :class:`DiskConfig`."""
+        return cls(
+            num_chunks=num_chunks,
+            num_volumes=disk.volumes,
+            placement=disk.placement,
+        )
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def _range_size(self) -> int:
+        """Chunks per volume under range partitioning (last range may be short)."""
+        return -(-self.num_chunks // self.num_volumes)  # ceil division
+
+    def _check(self, chunk: int) -> None:
+        if not 0 <= chunk < self.num_chunks:
+            raise ConfigurationError(
+                f"chunk {chunk} outside table of {self.num_chunks} chunks"
+            )
+
+    def volume_of(self, chunk: int) -> int:
+        """Volume holding the given logical chunk."""
+        self._check(chunk)
+        if self.placement == "range":
+            return min(chunk // self._range_size, self.num_volumes - 1)
+        return chunk % self.num_volumes
+
+    def local_index(self, chunk: int) -> int:
+        """Physical position of the chunk *on its own volume*.
+
+        Chunks with consecutive local indices on the same volume are
+        physically adjacent there, so the disk model charges them only the
+        sequential (track-to-track) seek.
+        """
+        self._check(chunk)
+        if self.placement == "range":
+            return chunk - self.volume_of(chunk) * self._range_size
+        return chunk // self.num_volumes
+
+    def chunks_on(self, volume: int) -> List[int]:
+        """All logical chunks placed on one volume, in local order."""
+        if not 0 <= volume < self.num_volumes:
+            raise ConfigurationError(
+                f"volume {volume} outside layout of {self.num_volumes} volumes"
+            )
+        return [
+            chunk for chunk in range(self.num_chunks)
+            if self.volume_of(chunk) == volume
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        """Flat description of the placement (for reports)."""
+        return {
+            "num_chunks": self.num_chunks,
+            "num_volumes": self.num_volumes,
+            "placement": self.placement,
+        }

@@ -31,6 +31,24 @@ class TestDiskConfig:
         with pytest.raises(ConfigurationError):
             DiskConfig(spindles=0)
 
+    def test_total_bandwidth_scales_with_volumes(self):
+        disk = DiskConfig(bandwidth_bytes_per_s=100 * MB, spindles=2, volumes=4)
+        # Spindles scale one volume's bandwidth; volumes multiply the total.
+        assert disk.effective_bandwidth == 200 * MB
+        assert disk.total_bandwidth == 800 * MB
+
+    def test_rejects_bad_volume_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DiskConfig(volumes=0)
+        with pytest.raises(ConfigurationError):
+            DiskConfig(placement="mirrored")
+
+    def test_with_volumes_returns_modified_copy(self):
+        disk = DiskConfig()
+        wide = disk.with_volumes(4, "range")
+        assert (wide.volumes, wide.placement) == (4, "range")
+        assert (disk.volumes, disk.placement) == (1, "striped")
+
 
 class TestCpuConfig:
     def test_rate_with_fewer_queries_than_cores(self):
@@ -94,6 +112,14 @@ class TestSystemConfig:
         assert description["cpu_cores"] == 2
         assert description["chunk_MB"] == 16.0
         assert description["buffer_chunks"] == 64
+        assert description["disk_volumes"] == 1
+        assert description["volume_placement"] == "striped"
+
+    def test_system_with_volumes_returns_modified_copy(self):
+        config = SystemConfig()
+        wide = config.with_volumes(8)
+        assert wide.disk.volumes == 8
+        assert config.disk.volumes == 1
 
     def test_rejects_negative_stream_delay(self):
         with pytest.raises(ConfigurationError):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.config import DiskConfig
+from repro.common.errors import SimulationError
 from repro.common.units import MB
 from repro.disk.model import DiskModel
 from repro.disk.request import IORequest, RequestKind
@@ -48,6 +49,31 @@ class TestDiskModel:
         random = disk.service_time(IORequest(chunk=9, num_bytes=MB))
         assert sequential < random
 
+    def test_same_chunk_reread_is_sequential(self):
+        # Back-to-back requests for the *same* chunk (consecutive DSM column
+        # blocks of one logical chunk) leave the head in place: they must pay
+        # the track-to-track cost, not a full average seek.
+        disk = self.make_disk()
+        disk.serve(IORequest(chunk=4, num_bytes=MB))
+        same = disk.service_time(IORequest(chunk=4, num_bytes=MB))
+        assert same == pytest.approx(0.001 + MB / (100 * MB))
+        assert disk.is_sequential(4) and disk.is_sequential(5)
+        assert not disk.is_sequential(6) and not disk.is_sequential(3)
+
+    def test_first_request_pays_full_seek(self):
+        disk = self.make_disk()
+        assert not disk.is_sequential(0)
+        duration = disk.service_time(IORequest(chunk=0, num_bytes=MB))
+        assert duration == pytest.approx(0.01 + MB / (100 * MB))
+
+    def test_sequential_requests_counter(self):
+        disk = self.make_disk()
+        for chunk in (0, 1, 1, 5, 6):  # seq: 1 (next), 1 (same), 6 (next)
+            disk.serve(IORequest(chunk=chunk, num_bytes=MB))
+        assert disk.requests_served == 5
+        assert disk.sequential_requests == 3
+        assert disk.sequential_fraction() == pytest.approx(3 / 5)
+
     def test_serve_accumulates_statistics(self):
         disk = self.make_disk()
         disk.serve(IORequest(chunk=0, num_bytes=MB))
@@ -68,6 +94,20 @@ class TestDiskModel:
         disk.serve(IORequest(chunk=0, num_bytes=MB))
         assert 0.0 < disk.utilisation(elapsed=100.0) <= 1.0
         assert disk.utilisation(elapsed=0.0) == 0.0
+
+    def test_utilisation_overshoot_raises_instead_of_clamping(self):
+        # Busy time beyond the elapsed wall clock means the caller
+        # double-counted service time; the old silent clamp to 1.0 hid that.
+        disk = self.make_disk()
+        disk.serve(IORequest(chunk=0, num_bytes=100 * MB))  # ~1.01 s busy
+        with pytest.raises(SimulationError):
+            disk.utilisation(elapsed=0.5)
+
+    def test_utilisation_tolerates_float_noise(self):
+        disk = self.make_disk()
+        disk.serve(IORequest(chunk=0, num_bytes=100 * MB))
+        elapsed = disk.busy_time * (1.0 - 1e-12)
+        assert disk.utilisation(elapsed) == pytest.approx(1.0)
 
     def test_achieved_bandwidth(self):
         disk = self.make_disk()

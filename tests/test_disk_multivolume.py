@@ -1,0 +1,129 @@
+"""Tests for the multi-volume disk subsystem."""
+
+import pytest
+
+from repro.common.config import DiskConfig
+from repro.common.units import MB
+from repro.disk.model import DiskModel
+from repro.disk.multivolume import MultiVolumeDisk
+from repro.disk.request import IORequest
+from repro.storage.volumes import VolumeLayout
+
+
+def disk_config(volumes=1, placement="striped"):
+    return DiskConfig(
+        bandwidth_bytes_per_s=100 * MB,
+        avg_seek_s=0.01,
+        sequential_seek_s=0.001,
+        volumes=volumes,
+        placement=placement,
+    )
+
+
+def multi(volumes=1, placement="striped", num_chunks=16):
+    config = disk_config(volumes, placement)
+    return MultiVolumeDisk(
+        config, VolumeLayout.from_disk_config(config, num_chunks)
+    )
+
+
+class TestConstruction:
+    def test_one_model_per_volume(self):
+        disk = multi(volumes=4)
+        assert disk.num_volumes == 4
+        assert len(disk.volumes) == 4
+
+    def test_rejects_mismatched_layout(self):
+        config = disk_config(volumes=2)
+        layout = VolumeLayout(num_chunks=8, num_volumes=4)
+        with pytest.raises(ValueError):
+            MultiVolumeDisk(config, layout)
+
+
+class TestSingleVolumeEquivalence:
+    def test_matches_bare_disk_model_exactly(self):
+        """With one volume the subsystem is bit-for-bit a lone DiskModel."""
+        requests = [
+            IORequest(chunk=chunk, num_bytes=MB)
+            for chunk in (0, 1, 2, 2, 7, 8, 3, 3, 4)
+        ]
+        single = DiskModel(disk_config())
+        for placement in ("striped", "range"):
+            disk = multi(volumes=1, placement=placement)
+            durations = [disk.serve(request) for request in requests]
+            reference = DiskModel(disk_config())
+            expected = [reference.serve(request) for request in requests]
+            assert durations == expected
+            assert disk.requests_served == reference.requests_served
+            assert disk.sequential_requests == reference.sequential_requests
+            assert disk.bytes_transferred == reference.bytes_transferred
+            assert disk.busy_time == reference.busy_time
+        del single
+
+
+class TestIndependentHeads:
+    def test_striped_scan_is_sequential_on_every_volume(self):
+        # A full table scan in chunk order: after each volume's first chunk,
+        # every further access on that volume is to the adjacent local slot.
+        disk = multi(volumes=4, num_chunks=16)
+        for chunk in range(16):
+            disk.serve(IORequest(chunk=chunk, num_bytes=MB))
+        assert disk.requests_served == 16
+        assert disk.sequential_requests == 12  # all but each volume's first
+        for model in disk.volumes:
+            assert model.requests_served == 4
+            assert model.sequential_requests == 3
+
+    def test_heads_do_not_disturb_each_other(self):
+        disk = multi(volumes=2, num_chunks=8)
+        # Volume 0 serves chunks 0, 2 (locals 0, 1: sequential); the
+        # interleaved chunk 1 goes to volume 1 and must not break that.
+        disk.serve(IORequest(chunk=0, num_bytes=MB))
+        disk.serve(IORequest(chunk=1, num_bytes=MB))
+        duration = disk.service_time(IORequest(chunk=2, num_bytes=MB))
+        assert duration == pytest.approx(0.001 + MB / (100 * MB))
+
+    def test_range_placement_keeps_ranges_sequential(self):
+        disk = multi(volumes=2, placement="range", num_chunks=8)
+        disk.serve(IORequest(chunk=4, num_bytes=MB))  # volume 1, local 0
+        sequential = disk.service_time(IORequest(chunk=5, num_bytes=MB))
+        random = disk.service_time(IORequest(chunk=7, num_bytes=MB))
+        assert sequential < random
+
+    def test_statistics_aggregate_over_volumes(self):
+        disk = multi(volumes=2, num_chunks=8)
+        for chunk in range(6):
+            disk.serve(IORequest(chunk=chunk, num_bytes=MB))
+        assert disk.requests_served == 6
+        assert disk.bytes_transferred == 6 * MB
+        assert disk.busy_time == pytest.approx(
+            sum(model.busy_time for model in disk.volumes)
+        )
+        assert 0.0 < disk.sequential_fraction() <= 1.0
+
+    def test_per_volume_utilisation(self):
+        disk = multi(volumes=2, num_chunks=8)
+        disk.serve(IORequest(chunk=0, num_bytes=MB))  # volume 0 only
+        utilisation = disk.per_volume_utilisation(elapsed=1.0)
+        assert len(utilisation) == 2
+        assert utilisation[0] > 0.0
+        assert utilisation[1] == 0.0
+        assert disk.utilisation(1.0) == pytest.approx(sum(utilisation) / 2)
+
+    def test_reset_clears_every_volume(self):
+        disk = multi(volumes=2, num_chunks=8)
+        disk.serve(IORequest(chunk=0, num_bytes=MB))
+        disk.serve(IORequest(chunk=1, num_bytes=MB))
+        disk.reset()
+        assert disk.requests_served == 0
+        assert disk.busy_time == 0.0
+        for model in disk.volumes:
+            assert model.last_chunk is None
+
+    def test_achieved_bandwidth(self):
+        disk = multi(volumes=2, num_chunks=8)
+        assert disk.achieved_bandwidth() == 0.0
+        disk.serve(IORequest(chunk=0, num_bytes=100 * MB))
+        assert disk.achieved_bandwidth() == pytest.approx(
+            100 * MB / 1.01, rel=0.01
+        )

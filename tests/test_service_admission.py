@@ -112,6 +112,29 @@ class TestAdmission:
         with pytest.raises(ValueError):
             ctrl.release()
 
+    def test_controller_revalidates_discipline(self):
+        # A config whose discipline was mutated around ServiceConfig's own
+        # validation must be rejected at controller construction instead of
+        # silently mixing FIFO and priority orders.
+        config = ServiceConfig()
+        object.__setattr__(config, "discipline", "lifo")
+        with pytest.raises(ConfigurationError):
+            AdmissionController(config)
+
+    def test_fifo_controller_never_touches_the_heap(self):
+        ctrl = controller(max_concurrent=1, discipline="fifo")
+        for query_id in range(4):
+            ctrl.offer(make_request(query_id, range(4)), 0.1 * query_id)
+        assert ctrl._heap == []
+        assert len(ctrl._fifo) == 3
+
+    def test_priority_controller_never_touches_the_fifo(self):
+        ctrl = controller(max_concurrent=1, discipline="priority")
+        for query_id in range(4):
+            ctrl.offer(make_request(query_id, range(4)), 0.1 * query_id)
+        assert len(ctrl._heap) == 3
+        assert len(ctrl._fifo) == 0
+
     def test_counters_and_describe(self):
         ctrl = controller(max_concurrent=1, queue_capacity=1)
         ctrl.offer(make_request(0, range(4)), 0.0)

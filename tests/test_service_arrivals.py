@@ -118,3 +118,20 @@ class TestOfferedRate:
         arrivals = poisson_arrivals(templates, nsm_layout, 2.0, 1, seed=1)
         assert offered_rate(arrivals) == 0.0
         assert offered_rate([]) == 0.0
+
+    def test_single_arrival_has_no_measurable_rate(self, templates, nsm_layout):
+        # One arrival spans no time at all: the empirical rate is undefined
+        # and must come back as 0.0, not a division error.
+        arrivals = poisson_arrivals(templates, nsm_layout, 100.0, 1, seed=2)
+        assert offered_rate(arrivals) == 0.0
+
+    def test_zero_duration_window_is_infinite_rate(self, templates, nsm_layout):
+        from repro.service.arrivals import Arrival
+        from tests.conftest import make_request
+
+        burst = [
+            Arrival(time=5.0, spec=make_request(0, range(2))),
+            Arrival(time=5.0, spec=make_request(1, range(2))),
+            Arrival(time=5.0, spec=make_request(2, range(2))),
+        ]
+        assert offered_rate(burst) == float("inf")

@@ -69,6 +69,20 @@ class TestOpenSystemSource:
         with pytest.raises(SimulationError):
             OpenSystemSource(arrivals, AdmissionController(ServiceConfig()))
 
+    def test_on_complete_with_empty_queue_releases_slot(self):
+        arrivals = [Arrival(time=0.0, spec=make_request(0, range(2)))]
+        admission = AdmissionController(ServiceConfig(max_concurrent=2))
+        source = OpenSystemSource(arrivals, admission)
+        admitted = source.poll(0.0)
+        assert len(admitted) == 1
+        assert admission.active == 1
+        # The only query completes with nobody waiting: no follow-up query
+        # is released, the MPL slot is freed, and the source is drained.
+        released = source.on_complete(0, 1.0)
+        assert released == []
+        assert admission.active == 0
+        assert source.drained()
+
     def test_rejects_reuse_of_consumed_source(self, nsm_layout, small_config):
         # Sources are single-use: running the same instance twice must fail
         # loudly instead of returning an empty second result.

@@ -1,0 +1,104 @@
+"""Tests for the chunk-to-volume placement layouts."""
+
+import pytest
+
+from repro.common.config import ConfigurationError, DiskConfig
+from repro.storage.volumes import VolumeLayout
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VolumeLayout(num_chunks=0, num_volumes=1)
+        with pytest.raises(ConfigurationError):
+            VolumeLayout(num_chunks=8, num_volumes=0)
+        with pytest.raises(ConfigurationError):
+            VolumeLayout(num_chunks=8, num_volumes=2, placement="mirrored")
+
+    def test_rejects_out_of_range_lookups(self):
+        layout = VolumeLayout(num_chunks=8, num_volumes=2)
+        with pytest.raises(ConfigurationError):
+            layout.volume_of(8)
+        with pytest.raises(ConfigurationError):
+            layout.volume_of(-1)
+        with pytest.raises(ConfigurationError):
+            layout.chunks_on(2)
+
+    def test_from_disk_config(self):
+        disk = DiskConfig(volumes=4, placement="range")
+        layout = VolumeLayout.from_disk_config(disk, num_chunks=10)
+        assert layout.num_volumes == 4
+        assert layout.placement == "range"
+        assert layout.num_chunks == 10
+
+
+class TestStriped:
+    def test_round_robin_mapping(self):
+        layout = VolumeLayout(num_chunks=10, num_volumes=4, placement="striped")
+        assert [layout.volume_of(chunk) for chunk in range(10)] == [
+            0, 1, 2, 3, 0, 1, 2, 3, 0, 1,
+        ]
+
+    def test_local_index_counts_per_volume(self):
+        layout = VolumeLayout(num_chunks=10, num_volumes=4, placement="striped")
+        # Chunks 0, 4, 8 live on volume 0 at local positions 0, 1, 2: they
+        # are physically adjacent there, which is what makes a striped table
+        # scan sequential on every volume.
+        assert [layout.local_index(chunk) for chunk in (0, 4, 8)] == [0, 1, 2]
+        assert layout.chunks_on(0) == [0, 4, 8]
+
+    def test_single_volume_is_identity(self):
+        layout = VolumeLayout(num_chunks=6, num_volumes=1, placement="striped")
+        for chunk in range(6):
+            assert layout.volume_of(chunk) == 0
+            assert layout.local_index(chunk) == chunk
+        assert layout.chunks_on(0) == list(range(6))
+
+
+class TestRangePartitioned:
+    def test_contiguous_ranges(self):
+        layout = VolumeLayout(num_chunks=10, num_volumes=4, placement="range")
+        # ceil(10 / 4) = 3 chunks per range; the last volume gets the tail.
+        assert layout.chunks_on(0) == [0, 1, 2]
+        assert layout.chunks_on(1) == [3, 4, 5]
+        assert layout.chunks_on(2) == [6, 7, 8]
+        assert layout.chunks_on(3) == [9]
+
+    def test_local_index_restarts_per_range(self):
+        layout = VolumeLayout(num_chunks=10, num_volumes=4, placement="range")
+        assert [layout.local_index(chunk) for chunk in (0, 3, 6, 9)] == [0, 0, 0, 0]
+        assert layout.local_index(5) == 2
+
+    def test_single_volume_is_identity(self):
+        layout = VolumeLayout(num_chunks=6, num_volumes=1, placement="range")
+        for chunk in range(6):
+            assert layout.volume_of(chunk) == 0
+            assert layout.local_index(chunk) == chunk
+
+
+class TestPartitionProperties:
+    @pytest.mark.parametrize("placement", ["striped", "range"])
+    @pytest.mark.parametrize("num_volumes", [1, 2, 3, 4, 7])
+    def test_every_chunk_on_exactly_one_volume(self, placement, num_volumes):
+        layout = VolumeLayout(
+            num_chunks=23, num_volumes=num_volumes, placement=placement
+        )
+        seen = []
+        for volume in range(num_volumes):
+            seen.extend(layout.chunks_on(volume))
+        assert sorted(seen) == list(range(23))
+
+    @pytest.mark.parametrize("placement", ["striped", "range"])
+    def test_local_indices_are_consecutive_on_each_volume(self, placement):
+        layout = VolumeLayout(num_chunks=23, num_volumes=4, placement=placement)
+        for volume in range(4):
+            locals_ = [layout.local_index(chunk) for chunk in layout.chunks_on(volume)]
+            assert locals_ == list(range(len(locals_)))
+
+    def test_describe(self):
+        layout = VolumeLayout(num_chunks=8, num_volumes=2, placement="range")
+        assert layout.describe() == {
+            "num_chunks": 8,
+            "num_volumes": 2,
+            "placement": "range",
+        }
