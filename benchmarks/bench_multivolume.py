@@ -21,7 +21,8 @@ headline claims, asserted deterministically:
   serialised disk.
 
 Run it under pytest-benchmark like the other benchmarks, or standalone
-(which also writes ``multivolume_results.json`` for CI artifacts)::
+(which also writes ``benchmarks/out/multivolume_results.json`` for CI
+artifacts)::
 
     PYTHONPATH=src python -m benchmarks.bench_multivolume
 """
@@ -55,7 +56,10 @@ SPAN = 32
 NUM_CHUNKS = 96
 
 #: Where the standalone run writes its machine-readable results.
-JSON_PATH = os.environ.get("REPRO_MULTIVOLUME_JSON", "multivolume_results.json")
+JSON_PATH = os.environ.get(
+    "REPRO_MULTIVOLUME_JSON",
+    os.path.join("benchmarks", "out", "multivolume_results.json"),
+)
 
 
 def _base_config(capacity_chunks: int) -> SystemConfig:
@@ -222,6 +226,9 @@ def _write_json(results) -> None:
         },
         "results": results,
     }
+    directory = os.path.dirname(JSON_PATH)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
     with open(JSON_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(f"\nwrote {JSON_PATH}")

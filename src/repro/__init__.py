@@ -50,7 +50,7 @@ from repro.sim import (
 )
 from repro.metrics import PolicyComparison, compare_runs
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SystemConfig",

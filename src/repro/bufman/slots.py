@@ -48,6 +48,12 @@ class ChunkSlotPool:
         self._loading: Set[int] = set()
         self.loads_completed: int = 0
         self.evictions: int = 0
+        #: Optional observer (the ABM's interest tracker) notified whenever a
+        #: chunk becomes buffered or is evicted, so incrementally-maintained
+        #: availability stays consistent even when a driver mutates the pool
+        #: directly.  Must provide ``on_chunk_loaded(chunk)`` and
+        #: ``on_chunk_evicted(chunk)``.
+        self.listener = None
 
     # ------------------------------------------------------------ inspection
     @property
@@ -122,6 +128,8 @@ class ChunkSlotPool:
         slot = ChunkSlot(chunk=chunk, loaded_at=now, last_used=now)
         self._slots[chunk] = slot
         self.loads_completed += 1
+        if self.listener is not None:
+            self.listener.on_chunk_loaded(chunk)
         return slot
 
     def pin(self, chunk: int, now: float) -> None:
@@ -145,9 +153,14 @@ class ChunkSlotPool:
             raise BufferPoolError(f"cannot evict pinned chunk {chunk}")
         del self._slots[chunk]
         self.evictions += 1
+        if self.listener is not None:
+            self.listener.on_chunk_evicted(chunk)
 
     def reset(self) -> None:
         """Drop all state (new run)."""
+        if self.listener is not None:
+            for chunk in list(self._slots):
+                self.listener.on_chunk_evicted(chunk)
         self._slots.clear()
         self._loading.clear()
         self.loads_completed = 0
@@ -190,6 +203,12 @@ class DSMBlockPool:
             raise BufferPoolError("DSM block pool needs capacity >= 1 page")
         self._capacity_pages = capacity_pages
         self._blocks: Dict[BlockKey, BlockState] = {}
+        #: Per-chunk index of the buffered blocks (column -> state), so that
+        #: chunk-granularity questions (``blocks_of_chunk``,
+        #: ``chunk_cached_pages``) cost O(blocks of that chunk) instead of a
+        #: walk over the whole pool.  Per-chunk insertion order matches the
+        #: global insertion order restricted to the chunk.
+        self._by_chunk: Dict[int, Dict[str, BlockState]] = {}
         self._loading: Dict[BlockKey, int] = {}
         #: Chunks protected from eviction because a query has already chosen
         #: them as its next chunk (the DSM "avoid data waste" rule).
@@ -200,6 +219,11 @@ class DSMBlockPool:
         self._used_pages: int = 0
         self.loads_completed: int = 0
         self.evictions: int = 0
+        #: Optional observer (the DSM ABM's interest tracker) notified when a
+        #: block becomes buffered or is evicted; must provide
+        #: ``on_block_loaded(chunk, column, pages)`` and
+        #: ``on_block_evicted(chunk, column, pages)``.
+        self.listener = None
 
     # ------------------------------------------------------------ inspection
     @property
@@ -237,11 +261,14 @@ class DSMBlockPool:
 
     def buffered_chunks(self) -> Set[int]:
         """Chunks with at least one buffered column block."""
-        return {chunk for chunk, _ in self._blocks}
+        return set(self._by_chunk)
 
     def blocks_of_chunk(self, chunk: int) -> List[BlockState]:
         """All buffered blocks belonging to one logical chunk."""
-        return [state for state in self._blocks.values() if state.chunk == chunk]
+        per_chunk = self._by_chunk.get(chunk)
+        if not per_chunk:
+            return []
+        return list(per_chunk.values())
 
     def used_pages(self) -> int:
         """Pages occupied by buffered blocks plus in-flight loads."""
@@ -253,13 +280,14 @@ class DSMBlockPool:
 
     def chunk_cached_pages(self, chunk: int, columns: Optional[Iterable[str]] = None) -> int:
         """Buffered pages of a chunk, optionally restricted to some columns."""
+        per_chunk = self._by_chunk.get(chunk)
+        if not per_chunk:
+            return 0
         if columns is None:
-            return sum(state.pages for state in self.blocks_of_chunk(chunk))
+            return sum(state.pages for state in per_chunk.values())
         wanted = set(columns)
         return sum(
-            state.pages
-            for state in self.blocks_of_chunk(chunk)
-            if state.column in wanted
+            per_chunk[column].pages for column in wanted if column in per_chunk
         )
 
     # ----------------------------------------------------------- reservation
@@ -310,7 +338,10 @@ class DSMBlockPool:
             last_used=now,
         )
         self._blocks[key] = state
+        self._by_chunk.setdefault(chunk, {})[column] = state
         self.loads_completed += 1
+        if self.listener is not None:
+            self.listener.on_block_loaded(chunk, column, pages)
         return state
 
     def pin(self, key: BlockKey, now: float) -> None:
@@ -337,13 +368,23 @@ class DSMBlockPool:
                 f"cannot evict block {key}: chunk {state.chunk} is reserved"
             )
         del self._blocks[key]
+        per_chunk = self._by_chunk[state.chunk]
+        del per_chunk[state.column]
+        if not per_chunk:
+            del self._by_chunk[state.chunk]
         self._used_pages -= state.pages
         self.evictions += 1
+        if self.listener is not None:
+            self.listener.on_block_evicted(state.chunk, state.column, state.pages)
         return state.pages
 
     def reset(self) -> None:
         """Drop all state (new run)."""
+        if self.listener is not None:
+            for state in list(self._blocks.values()):
+                self.listener.on_block_evicted(state.chunk, state.column, state.pages)
         self._blocks.clear()
+        self._by_chunk.clear()
         self._loading.clear()
         self._reserved_chunks.clear()
         self._used_pages = 0

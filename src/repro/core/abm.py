@@ -25,18 +25,35 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.bufman.slots import BlockKey, ChunkSlotPool, DSMBlockPool
 from repro.common.errors import SchedulingError
 from repro.core.cscan import CScanHandle, ScanRequest
+from repro.core.interest import DSMInterestTracker, InterestTracker
 from repro.core.ops import ColumnLoad, DSMLoadOperation, LoadOperation
 from repro.storage.dsm import DSMTableLayout
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from typing import Union
+
     from repro.core.policies.base import DSMSchedulingPolicy, SchedulingPolicy
+
+#: Fallback starvation thresholds for policies without
+#: :class:`repro.core.policies.relevance.RelevanceParameters` (the paper's
+#: defaults: starved below 2 available chunks, almost starved at 2).
+_DEFAULT_STARVATION_THRESHOLD = 2
+_DEFAULT_ALMOST_STARVED_THRESHOLD = 2
 
 
 class _BaseABM:
     """State and bookkeeping shared by the NSM and DSM buffer managers."""
 
-    def __init__(self) -> None:
+    def __init__(self, incremental: bool = True) -> None:
         self._handles: Dict[int, CScanHandle] = {}
+        #: Whether the relevance aggregates are maintained incrementally
+        #: (:mod:`repro.core.interest`); ``False`` falls back to the naive
+        #: recompute-from-scratch walks.  Both modes make bit-for-bit
+        #: identical scheduling decisions.
+        self.incremental = incremental
+        #: The interest tracker (set by the concrete ABM after binding the
+        #: policy, because the starvation thresholds come from the policy).
+        self.tracker: "Union[InterestTracker, DSMInterestTracker, None]" = None
         #: Number of I/O requests issued so far (NSM: one per chunk load,
         #: DSM: one per column block).
         self.io_requests: int = 0
@@ -59,7 +76,11 @@ class _BaseABM:
             raise SchedulingError(f"query {request.query_id} already registered")
         handle = CScanHandle(request, now)
         self._handles[request.query_id] = handle
+        # Every registered query gets an attribution entry, even if it never
+        # triggers a load of its own; next_load can then bump it blindly.
         self.loads_triggered.setdefault(request.query_id, 0)
+        if self.tracker is not None:
+            self.tracker.on_register(handle)
         self._policy().on_register(handle, now)
         return handle
 
@@ -67,6 +88,8 @@ class _BaseABM:
         """Remove a (normally finished) query from the ABM."""
         handle = self._handle(query_id)
         del self._handles[query_id]
+        if self.tracker is not None:
+            self.tracker.on_unregister(handle)
         self._policy().on_unregister(handle, now)
         return handle
 
@@ -89,12 +112,81 @@ class _BaseABM:
         return len(self._handles)
 
     def interested_handles(self, chunk: int) -> List[CScanHandle]:
-        """Handles that still need the given chunk."""
+        """Handles that still need the given chunk (registration order)."""
+        if self.tracker is not None:
+            handles = self._handles
+            return [handles[qid] for qid in self.tracker.interested_ids(chunk)]
         return [handle for handle in self._handles.values() if handle.is_interested(chunk)]
 
     def interested_count(self, chunk: int) -> int:
         """Number of registered scans that still need the given chunk."""
+        if self.tracker is not None:
+            return self.tracker.interested_count(chunk)
         return sum(1 for handle in self._handles.values() if handle.is_interested(chunk))
+
+    # --------------------------------------------------------- starvation
+    def _snapshot_thresholds(self) -> None:
+        """Capture the starvation thresholds from the bound policy's
+        :class:`RelevanceParameters` (falling back to the paper's defaults),
+        so ablations of the threshold affect the whole starvation logic.
+        Snapshotting once at construction keeps the naive predicates and the
+        incremental tracker in agreement by construction; the parameters
+        dataclass is frozen, so they cannot legitimately change later."""
+        parameters = getattr(self._policy(), "parameters", None)
+        if parameters is not None:
+            self._starvation_threshold = parameters.starvation_threshold
+            self._almost_starved_threshold = parameters.almost_starved_threshold
+        else:
+            self._starvation_threshold = _DEFAULT_STARVATION_THRESHOLD
+            self._almost_starved_threshold = _DEFAULT_ALMOST_STARVED_THRESHOLD
+
+    @property
+    def starvation_threshold(self) -> int:
+        """A query is starved below this many available chunks."""
+        return self._starvation_threshold
+
+    @property
+    def almost_starved_threshold(self) -> int:
+        """A query is almost starved at or below this many available chunks."""
+        return self._almost_starved_threshold
+
+    def is_starved(self, handle: CScanHandle) -> bool:
+        """The paper's ``queryStarved``: fewer available chunks than the
+        bound policy's starvation threshold."""
+        return self.num_available_chunks(handle) < self.starvation_threshold
+
+    def is_almost_starved(self, handle: CScanHandle) -> bool:
+        """On the border of starvation: at or below the almost-starved
+        threshold (used by ``keepRelevance``)."""
+        return self.num_available_chunks(handle) <= self.almost_starved_threshold
+
+    def starved_handles(self) -> List[CScanHandle]:
+        """All registered scans that are currently starved (registration
+        order)."""
+        if self.tracker is not None:
+            handles = self._handles
+            return [handles[qid] for qid in self.tracker.starved_ids_ordered()]
+        return [handle for handle in self._handles.values() if self.is_starved(handle)]
+
+    def starved_interested_count(self, chunk: int) -> int:
+        """Number of interested queries of the chunk that are starved (the
+        ``Qmax``-weighted term of ``loadRelevance``)."""
+        if self.tracker is not None:
+            return self.tracker.starved_interested_count(chunk)
+        return sum(1 for handle in self.interested_handles(chunk) if self.is_starved(handle))
+
+    def almost_starved_interested_count(self, chunk: int) -> int:
+        """Number of interested queries of the chunk that are almost starved
+        (the ``Qmax``-weighted term of ``keepRelevance``)."""
+        if self.tracker is not None:
+            return self.tracker.almost_starved_interested_count(chunk)
+        return sum(
+            1 for handle in self.interested_handles(chunk) if self.is_almost_starved(handle)
+        )
+
+    def num_available_chunks(self, handle: CScanHandle) -> int:
+        """Count of chunks the query could consume right now."""
+        raise NotImplementedError
 
     def _policy(self):
         raise NotImplementedError
@@ -116,6 +208,10 @@ class ActiveBufferManager(_BaseABM):
     chunk_sizes:
         Optional per-chunk byte sizes (the last chunk of a table is usually
         smaller); defaults to ``chunk_bytes`` for every chunk.
+    incremental:
+        Maintain the relevance aggregates incrementally (the default); pass
+        ``False`` to fall back to the naive recompute-from-scratch walks
+        (same decisions, O(queries x chunks) per decision).
     """
 
     def __init__(
@@ -125,8 +221,9 @@ class ActiveBufferManager(_BaseABM):
         policy: "SchedulingPolicy",
         chunk_bytes: int,
         chunk_sizes: Optional[Sequence[int]] = None,
+        incremental: bool = True,
     ) -> None:
-        super().__init__()
+        super().__init__(incremental=incremental)
         if num_chunks < 1:
             raise SchedulingError("table must have at least one chunk")
         self.num_chunks = num_chunks
@@ -137,6 +234,15 @@ class ActiveBufferManager(_BaseABM):
         self.pool = ChunkSlotPool(capacity_chunks)
         self.policy = policy
         policy.bind(self)
+        self._snapshot_thresholds()
+        if incremental:
+            self.tracker = InterestTracker(
+                self.pool, self.starvation_threshold, self.almost_starved_threshold
+            )
+            # The pool drives availability updates (loads and evictions), so
+            # the tracker stays consistent even when a test or driver mutates
+            # the pool directly.
+            self.pool.listener = self.tracker
 
     def _policy(self) -> "SchedulingPolicy":
         return self.policy
@@ -150,24 +256,15 @@ class ActiveBufferManager(_BaseABM):
 
     def available_chunks(self, handle: CScanHandle) -> List[int]:
         """Buffered chunks the query still needs (including the current one)."""
+        if self.tracker is not None and self.tracker.knows(handle.query_id):
+            return sorted(self.tracker.available_chunks(handle.query_id))
         return [chunk for chunk in handle.needed if chunk in self.pool]
 
     def num_available_chunks(self, handle: CScanHandle) -> int:
         """Count of buffered chunks the query still needs."""
+        if self.tracker is not None and self.tracker.knows(handle.query_id):
+            return self.tracker.available_count(handle.query_id)
         return sum(1 for chunk in handle.needed if chunk in self.pool)
-
-    def is_starved(self, handle: CScanHandle) -> bool:
-        """The paper's ``queryStarved``: fewer than 2 available chunks."""
-        return self.num_available_chunks(handle) < 2
-
-    def is_almost_starved(self, handle: CScanHandle) -> bool:
-        """On the border of starvation: would become starved if one of its
-        available chunks were evicted (used by ``keepRelevance``)."""
-        return self.num_available_chunks(handle) <= 2
-
-    def starved_handles(self) -> List[CScanHandle]:
-        """All registered scans that are currently starved."""
-        return [handle for handle in self._handles.values() if self.is_starved(handle)]
 
     # ------------------------------------------------------------ data path
     def select_chunk(self, query_id: int, now: float) -> Optional[int]:
@@ -204,6 +301,8 @@ class ActiveBufferManager(_BaseABM):
         handle = self._handle(query_id)
         chunk = handle.finish_chunk(now)
         self.pool.unpin(chunk, now)
+        if self.tracker is not None:
+            self.tracker.on_chunk_finished(handle, chunk)
         self.policy.on_chunk_consumed(handle, chunk, now)
         return chunk
 
@@ -233,7 +332,7 @@ class ActiveBufferManager(_BaseABM):
         self.pool.start_load(chunk)
         self.io_requests += 1
         self.pending_loads += 1
-        self.loads_triggered[query_id] = self.loads_triggered.get(query_id, 0) + 1
+        self.loads_triggered[query_id] += 1
         return LoadOperation(
             chunk=chunk,
             triggered_by=query_id,
@@ -269,8 +368,9 @@ class DSMActiveBufferManager(_BaseABM):
         layout: DSMTableLayout,
         capacity_pages: int,
         policy: "DSMSchedulingPolicy",
+        incremental: bool = True,
     ) -> None:
-        super().__init__()
+        super().__init__(incremental=incremental)
         self.layout = layout
         self.num_chunks = layout.num_chunks
         self.pool = DSMBlockPool(capacity_pages)
@@ -281,6 +381,12 @@ class DSMActiveBufferManager(_BaseABM):
         self.column_block_requests: int = 0
         self._block_pages_cache: Dict[BlockKey, int] = {}
         policy.bind(self)
+        self._snapshot_thresholds()
+        if incremental:
+            self.tracker = DSMInterestTracker(
+                self.pool, self.starvation_threshold, self.almost_starved_threshold
+            )
+            self.pool.listener = self.tracker
 
     def _policy(self) -> "DSMSchedulingPolicy":
         return self.policy
@@ -318,23 +424,24 @@ class DSMActiveBufferManager(_BaseABM):
 
     def available_chunks(self, handle: CScanHandle) -> List[int]:
         """Chunks the query still needs whose required columns are all buffered."""
+        if self.tracker is not None and self.tracker.knows(handle.query_id):
+            return sorted(self.tracker.available_chunks(handle.query_id))
         return [chunk for chunk in handle.needed if self.chunk_ready(handle, chunk)]
 
     def num_available_chunks(self, handle: CScanHandle) -> int:
         """Count of ready chunks for the query."""
+        if self.tracker is not None and self.tracker.knows(handle.query_id):
+            return self.tracker.available_count(handle.query_id)
         return sum(1 for chunk in handle.needed if self.chunk_ready(handle, chunk))
 
-    def is_starved(self, handle: CScanHandle) -> bool:
-        """The paper's ``queryStarved``: fewer than 2 ready chunks."""
-        return self.num_available_chunks(handle) < 2
-
-    def is_almost_starved(self, handle: CScanHandle) -> bool:
-        """On the border of starvation (2 or fewer ready chunks)."""
-        return self.num_available_chunks(handle) <= 2
-
-    def starved_handles(self) -> List[CScanHandle]:
-        """All registered scans that are currently starved."""
-        return [handle for handle in self._handles.values() if self.is_starved(handle)]
+    def cached_pages_for(self, handle: CScanHandle, chunk: int) -> int:
+        """Buffered pages of the query's columns for one needed chunk (the
+        ``useRelevance`` numerator and the reservation criterion)."""
+        if self.tracker is not None:
+            pages = self.tracker.cached_pages(handle.query_id, chunk)
+            if pages is not None:
+                return pages
+        return self.pool.chunk_cached_pages(chunk, handle.columns)
 
     def overlapping_handles(self, chunk: int, columns: Iterable[str]) -> List[CScanHandle]:
         """Handles interested in ``chunk`` that share at least one column with
@@ -382,6 +489,8 @@ class DSMActiveBufferManager(_BaseABM):
         handle.finish_chunk(now)
         for column in handle.columns:
             self.pool.unpin((chunk, column), now)
+        if self.tracker is not None:
+            self.tracker.on_chunk_finished(handle, chunk)
         self.policy.on_chunk_consumed(handle, chunk, now)
         return chunk
 
@@ -435,7 +544,7 @@ class DSMActiveBufferManager(_BaseABM):
         self.io_requests += 1
         self.pending_loads += 1
         self.column_block_requests += len(blocks)
-        self.loads_triggered[query_id] = self.loads_triggered.get(query_id, 0) + 1
+        self.loads_triggered[query_id] += 1
         return DSMLoadOperation(
             chunk=chunk,
             triggered_by=query_id,

@@ -53,6 +53,8 @@ class ScanRequest:
             raise SchedulingError(f"query {self.name!r} chunks must be sorted")
         if any(chunk < 0 for chunk in self.chunks):
             raise SchedulingError(f"query {self.name!r} has negative chunk ids")
+        if len(set(self.columns)) != len(self.columns):
+            raise SchedulingError(f"query {self.name!r} lists duplicate columns")
         if self.cpu_per_chunk < 0:
             raise SchedulingError("cpu_per_chunk must be non-negative")
 

@@ -19,7 +19,7 @@ becomes column- and size-aware, and three DSM-specific mechanisms are added
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.bufman.slots import BlockKey
 from repro.core.cscan import CScanHandle
@@ -71,7 +71,7 @@ class DSMRelevancePolicy(DSMSchedulingPolicy):
         pages and interest few overlapping queries, so they can be freed."""
         overlapping = self.abm.overlapping_handles(chunk, handle.columns)
         interested = max(1, len(overlapping))
-        cached_pages = self.abm.pool.chunk_cached_pages(chunk, handle.columns)
+        cached_pages = self.abm.cached_pages_for(handle, chunk)
         return cached_pages / interested
 
     def load_relevance(self, chunk: int, handle: CScanHandle) -> Tuple[float, Tuple[str, ...]]:
@@ -124,11 +124,17 @@ class DSMRelevancePolicy(DSMSchedulingPolicy):
     def select_chunk_to_consume(self, handle: CScanHandle, now: float) -> Optional[int]:
         self.scheduling_calls += 1
         abm = self.abm
+        if abm.incremental:
+            # The tracker maintains the ready bucket (all needed columns
+            # buffered); the naive path re-probes every needed chunk.
+            candidates: Iterable[int] = abm.available_chunks(handle)
+        else:
+            candidates = (
+                chunk for chunk in handle.needed if abm.chunk_ready(handle, chunk)
+            )
         best_chunk: Optional[int] = None
         best_score = -math.inf
-        for chunk in handle.needed:
-            if not abm.chunk_ready(handle, chunk):
-                continue
+        for chunk in candidates:
             score = self.use_relevance(chunk, handle)
             if score > best_score or (
                 score == best_score and best_chunk is not None and chunk < best_chunk
@@ -145,8 +151,11 @@ class DSMRelevancePolicy(DSMSchedulingPolicy):
         abm = self.abm
         best_chunk: Optional[int] = None
         best_cached = 0
+        # Iterate ``needed`` itself in both modes: the strictly-greater
+        # comparison makes the winner depend on set iteration order, which
+        # must stay identical between naive and incremental runs.
         for chunk in handle.needed:
-            cached = abm.pool.chunk_cached_pages(chunk, handle.columns)
+            cached = abm.cached_pages_for(handle, chunk)
             if cached > best_cached:
                 best_cached = cached
                 best_chunk = chunk
@@ -173,11 +182,14 @@ class DSMRelevancePolicy(DSMSchedulingPolicy):
     def choose_load(self, now: float) -> Optional[Tuple[int, int, Tuple[str, ...]]]:
         self.scheduling_calls += 1
         abm = self.abm
-        starved = [
-            handle
-            for handle in abm.active_handles()
-            if not handle.finished and self.query_starved(handle)
-        ]
+        if abm.incremental:
+            starved = [handle for handle in abm.starved_handles() if not handle.finished]
+        else:
+            starved = [
+                handle
+                for handle in abm.active_handles()
+                if not handle.finished and self.query_starved(handle)
+            ]
         if not starved:
             return None
         starved.sort(key=lambda handle: self.query_relevance(handle, now), reverse=True)

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.cscan import CScanHandle
 from repro.core.policies.base import SchedulingPolicy
@@ -79,9 +79,9 @@ class RelevancePolicy(SchedulingPolicy):
     def __init__(self, parameters: RelevanceParameters | None = None) -> None:
         super().__init__()
         self.parameters = parameters or RelevanceParameters()
-        #: Wall-clock style accounting of time spent inside scheduling
-        #: decisions (used by the Figure 8 benchmark); the simulator reads
-        #: and resets it.
+        #: Number of scheduling decisions made over the policy's lifetime
+        #: (used by the Figure 8 benchmark); the simulator reports per-run
+        #: deltas in ``RunResult.scheduling_calls``.
         self.scheduling_calls: int = 0
 
     # -------------------------------------------------------- starvation
@@ -113,28 +113,39 @@ class RelevancePolicy(SchedulingPolicy):
         return self.parameters.qmax - self.abm.interested_count(chunk)
 
     def load_relevance(self, chunk: int) -> float:
-        """``loadRelevance``: which chunk to load for the chosen query."""
-        interested = self.abm.interested_handles(chunk)
-        starved = sum(1 for handle in interested if self.query_starved(handle))
-        return starved * self.parameters.qmax + len(interested)
+        """``loadRelevance``: which chunk to load for the chosen query.
+
+        Both terms are maintained incrementally by the ABM's interest
+        tracker (O(1) reads); the naive ABM recomputes them with full walks.
+        """
+        abm = self.abm
+        return (
+            abm.starved_interested_count(chunk) * self.parameters.qmax
+            + abm.interested_count(chunk)
+        )
 
     def keep_relevance(self, chunk: int) -> float:
         """``keepRelevance``: how valuable a buffered chunk is to keep."""
-        interested = self.abm.interested_handles(chunk)
-        almost_starved = sum(
-            1 for handle in interested if self.query_almost_starved(handle)
+        abm = self.abm
+        return (
+            abm.almost_starved_interested_count(chunk) * self.parameters.qmax
+            + abm.interested_count(chunk)
         )
-        return almost_starved * self.parameters.qmax + len(interested)
 
     # ------------------------------------------------------------- delivery
     def select_chunk_to_consume(self, handle: CScanHandle, now: float) -> Optional[int]:
         self.scheduling_calls += 1
-        pool = self.abm.pool
+        abm = self.abm
+        if abm.incremental:
+            # The tracker maintains exactly the buffered-and-needed bucket;
+            # the naive path rediscovers it by probing the pool per chunk.
+            candidates: Iterable[int] = abm.available_chunks(handle)
+        else:
+            pool = abm.pool
+            candidates = (chunk for chunk in handle.needed if chunk in pool)
         best_chunk: Optional[int] = None
         best_score = -math.inf
-        for chunk in handle.needed:
-            if chunk not in pool:
-                continue
+        for chunk in candidates:
             score = self.use_relevance(chunk)
             if score > best_score or (score == best_score and best_chunk is not None and chunk < best_chunk):
                 best_score = score
@@ -145,11 +156,16 @@ class RelevancePolicy(SchedulingPolicy):
     def choose_load(self, now: float) -> Optional[Tuple[int, int]]:
         self.scheduling_calls += 1
         abm = self.abm
-        starved = [
-            handle
-            for handle in abm.active_handles()
-            if not handle.finished and self.query_starved(handle)
-        ]
+        if abm.incremental:
+            # Registration-ordered starved set, maintained incrementally —
+            # identical to filtering the full handle walk below.
+            starved = [handle for handle in abm.starved_handles() if not handle.finished]
+        else:
+            starved = [
+                handle
+                for handle in abm.active_handles()
+                if not handle.finished and self.query_starved(handle)
+            ]
         if not starved:
             return None
         starved.sort(key=lambda handle: self.query_relevance(handle, now), reverse=True)
@@ -186,9 +202,7 @@ class RelevancePolicy(SchedulingPolicy):
         def eligible(chunk: int, protect_starved: bool) -> bool:
             if trigger.is_interested(chunk):
                 return False
-            if protect_starved and any(
-                self.query_starved(handle) for handle in abm.interested_handles(chunk)
-            ):
+            if protect_starved and abm.starved_interested_count(chunk) > 0:
                 return False
             return True
 

@@ -89,6 +89,10 @@ class RunResult:
     streams: List[StreamResult]
     trace: Optional[IOTrace] = None
     scheduling_seconds: float = 0.0
+    #: Number of scheduling decisions the policy made (select / load /
+    #: eviction calls), for per-decision cost reporting; 0 for policies that
+    #: do not count their calls.
+    scheduling_calls: int = 0
     num_chunks: int = 0
     config: Dict[str, object] = field(default_factory=dict)
     #: Mean busy fraction over all disk volumes (one volume: plain disk
@@ -142,3 +146,45 @@ class RunResult:
         if self.total_time <= 0:
             return 0.0
         return self.scheduling_seconds / self.total_time
+
+    @property
+    def per_decision_seconds(self) -> float:
+        """Mean real seconds per counted scheduling decision (the paper's
+        per-call scheduling-cost measure from Figure 8)."""
+        if self.scheduling_calls <= 0:
+            return 0.0
+        return self.scheduling_seconds / self.scheduling_calls
+
+
+def scheduling_fingerprint(result: RunResult) -> tuple:
+    """Everything scheduling decisions can influence, as one comparable value.
+
+    Used by the golden-trace equivalence tests and the scheduling-overhead
+    benchmark to assert that the incremental bookkeeping makes bit-for-bit
+    the same decisions as the naive walks: per-query timings, attribution
+    and delivery orders, per-stream timings, and the raw I/O trace.
+    """
+    queries = [
+        (
+            query.query_id,
+            query.arrival_time,
+            query.finish_time,
+            query.loads_triggered,
+            tuple(query.delivery_order),
+            query.submit_time,
+        )
+        for query in result.queries
+    ]
+    streams = [
+        (stream.stream, stream.start_time, stream.finish_time)
+        for stream in result.streams
+    ]
+    trace = list(result.trace) if result.trace is not None else None
+    return (
+        result.total_time,
+        result.io_requests,
+        result.bytes_read,
+        queries,
+        streams,
+        trace,
+    )

@@ -39,6 +39,13 @@ class TestScanRequest:
         with pytest.raises(SchedulingError):
             ScanRequest(1, "neg", chunks=(-1, 0))
 
+    def test_rejects_duplicate_columns(self):
+        # Duplicate columns would double-count missing blocks in the DSM
+        # interest tracker (one decrement per loaded block, but one increment
+        # per occurrence), diverging from the naive set-based walks.
+        with pytest.raises(SchedulingError):
+            ScanRequest(1, "dupcol", chunks=(0, 1), columns=("a", "a"))
+
     def test_rejects_negative_cpu(self):
         with pytest.raises(SchedulingError):
             ScanRequest(1, "cpu", chunks=(0,), cpu_per_chunk=-1.0)

@@ -1,0 +1,181 @@
+"""Golden-trace equivalence: incremental bookkeeping changes no decision.
+
+The incremental interest trackers (:mod:`repro.core.interest`) and the
+virtual-time event core exist purely to make scheduling cheaper; they must
+not change a single scheduling decision.  These tests run the same workload
+with ``incremental=True`` and ``incremental=False`` across the full matrix
+of storage model (NSM / DSM), disk shape (1 and 4 volumes) and workload
+source (closed streams and open-system arrivals) and assert the outcomes
+are bit-for-bit identical: same query finish times, same delivery orders,
+same I/O trace records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ServiceConfig
+from repro.service.admission import AdmissionController
+from repro.service.arrivals import Arrival
+from repro.service.server import OpenSystemSource
+from repro.sim.results import scheduling_fingerprint as _fingerprint
+from repro.sim.runner import run_simulation
+from repro.sim.setup import make_dsm_abm, make_nsm_abm
+from repro.workload.queries import QueryFamily, QueryTemplate
+from repro.workload.streams import build_streams
+
+NUM_STREAMS = 5
+QUERIES_PER_STREAM = 2
+SEED = 1234
+
+
+def _nsm_workload():
+    fast = QueryFamily("F", cpu_per_chunk=0.002)
+    slow = QueryFamily("S", cpu_per_chunk=0.02)
+    return [
+        QueryTemplate(fast, 10),
+        QueryTemplate(fast, 50),
+        QueryTemplate(slow, 100),
+    ]
+
+
+def _dsm_workload():
+    narrow = QueryFamily("F", cpu_per_chunk=0.002, columns=("key", "price"))
+    medium = QueryFamily("G", cpu_per_chunk=0.002, columns=("price", "flag"))
+    wide = QueryFamily("S", cpu_per_chunk=0.02, columns=("key", "ref", "date"))
+    return [
+        QueryTemplate(narrow, 10),
+        QueryTemplate(medium, 50),
+        QueryTemplate(wide, 100),
+    ]
+
+
+def _closed_streams(templates, layout):
+    return build_streams(
+        templates, layout, NUM_STREAMS, QUERIES_PER_STREAM, seed=SEED
+    )
+
+
+def _open_source(templates, layout):
+    """A deterministic open-system arrival sequence through admission."""
+    specs = [
+        spec
+        for stream in _closed_streams(templates, layout)
+        for spec in stream
+    ]
+    arrivals = [
+        Arrival(time=0.3 * index, spec=spec) for index, spec in enumerate(specs)
+    ]
+    admission = AdmissionController(
+        ServiceConfig(max_concurrent=4, queue_capacity=64)
+    )
+    return OpenSystemSource(arrivals, admission)
+
+
+def _run_nsm(nsm_layout, config, workload_kind, incremental, policy="relevance"):
+    templates = _nsm_workload()
+    abm = make_nsm_abm(
+        nsm_layout, config, policy, capacity_chunks=8, incremental=incremental
+    )
+    if workload_kind == "closed":
+        workload = _closed_streams(templates, nsm_layout)
+    else:
+        workload = _open_source(templates, nsm_layout)
+    return run_simulation(workload, config, abm, record_trace=True)
+
+
+def _run_dsm(dsm_layout, config, workload_kind, incremental, policy="relevance"):
+    templates = _dsm_workload()
+    capacity_pages = max(64, int(dsm_layout.table_pages() * 0.3))
+    abm = make_dsm_abm(
+        dsm_layout,
+        config,
+        policy,
+        capacity_pages=capacity_pages,
+        incremental=incremental,
+    )
+    if workload_kind == "closed":
+        workload = _closed_streams(templates, dsm_layout)
+    else:
+        workload = _open_source(templates, dsm_layout)
+    return run_simulation(workload, config, abm, record_trace=True)
+
+
+class TestNSMEquivalence:
+    @pytest.mark.parametrize("volumes", [1, 4])
+    @pytest.mark.parametrize("workload_kind", ["closed", "open"])
+    def test_relevance_decisions_identical(
+        self, nsm_layout, small_config, volumes, workload_kind
+    ):
+        config = small_config.with_volumes(volumes)
+        naive = _run_nsm(nsm_layout, config, workload_kind, incremental=False)
+        incremental = _run_nsm(nsm_layout, config, workload_kind, incremental=True)
+        assert _fingerprint(naive) == _fingerprint(incremental)
+
+    @pytest.mark.parametrize("policy", ["normal", "attach", "elevator"])
+    def test_other_policies_identical(self, nsm_layout, small_config, policy):
+        naive = _run_nsm(
+            nsm_layout, small_config, "closed", incremental=False, policy=policy
+        )
+        incremental = _run_nsm(
+            nsm_layout, small_config, "closed", incremental=True, policy=policy
+        )
+        assert _fingerprint(naive) == _fingerprint(incremental)
+
+
+class TestDSMEquivalence:
+    @pytest.mark.parametrize("volumes", [1, 4])
+    @pytest.mark.parametrize("workload_kind", ["closed", "open"])
+    def test_relevance_decisions_identical(
+        self, dsm_layout, small_config, volumes, workload_kind
+    ):
+        config = small_config.with_volumes(volumes)
+        naive = _run_dsm(dsm_layout, config, workload_kind, incremental=False)
+        incremental = _run_dsm(dsm_layout, config, workload_kind, incremental=True)
+        assert _fingerprint(naive) == _fingerprint(incremental)
+
+    @pytest.mark.parametrize("policy", ["normal", "attach", "elevator"])
+    def test_other_policies_identical(self, dsm_layout, small_config, policy):
+        naive = _run_dsm(
+            dsm_layout, small_config, "closed", incremental=False, policy=policy
+        )
+        incremental = _run_dsm(
+            dsm_layout, small_config, "closed", incremental=True, policy=policy
+        )
+        assert _fingerprint(naive) == _fingerprint(incremental)
+
+
+class TestSchedulingInstrumentation:
+    def test_scheduling_calls_reported(self, nsm_layout, small_config):
+        result = _run_nsm(nsm_layout, small_config, "closed", incremental=True)
+        assert result.scheduling_calls > 0
+        assert result.per_decision_seconds >= 0.0
+        # Non-counting policies report zero calls without breaking the result.
+        normal = _run_nsm(
+            nsm_layout, small_config, "closed", incremental=True, policy="normal"
+        )
+        assert normal.scheduling_calls == 0
+        assert normal.per_decision_seconds == 0.0
+
+    def test_scheduling_calls_are_per_run_for_reused_policy(
+        self, nsm_layout, small_config
+    ):
+        """A policy object reused across simulations must report per-run
+        decision counts, not its lifetime total."""
+        from repro.core.policies import make_policy
+
+        policy = make_policy("relevance")
+        templates = _nsm_workload()
+
+        def run():
+            streams = build_streams(
+                templates, nsm_layout, NUM_STREAMS, QUERIES_PER_STREAM, seed=SEED
+            )
+            abm = make_nsm_abm(nsm_layout, small_config, policy, capacity_chunks=8)
+            return run_simulation(streams, small_config, abm)
+
+        first = run()
+        second = run()
+        assert first.scheduling_calls > 0
+        assert second.scheduling_calls == first.scheduling_calls
+        assert policy.scheduling_calls == first.scheduling_calls * 2
