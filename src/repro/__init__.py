@@ -27,6 +27,7 @@ from repro.common import (
     CpuConfig,
     BufferConfig,
     ServiceConfig,
+    ClusterConfig,
     PAPER_NSM_SYSTEM,
     PAPER_DSM_SYSTEM,
 )
@@ -50,7 +51,7 @@ from repro.sim import (
 )
 from repro.metrics import PolicyComparison, compare_runs
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SystemConfig",
@@ -58,6 +59,7 @@ __all__ = [
     "CpuConfig",
     "BufferConfig",
     "ServiceConfig",
+    "ClusterConfig",
     "PAPER_NSM_SYSTEM",
     "PAPER_DSM_SYSTEM",
     "ScanRequest",

@@ -1,0 +1,45 @@
+"""Sharded scatter-gather cluster layer over multiple ABM+disk simulators.
+
+The open-system service (:mod:`repro.service`) admits traffic into *one*
+simulator — one ABM sharing one machine's disk volumes.  This package is the
+next scaling step toward "millions of users": the table's chunks are
+partitioned across several independent shard simulators (each its own ABM,
+buffer pool, disk volumes and event core, advanced in lockstep on a shared
+clock by :class:`repro.sim.lockstep.LockstepRunner`) behind one front
+admission queue:
+
+* :mod:`repro.cluster.shardmap` — :class:`ShardMap`, the chunk->shard
+  placement (range-partitioned or striped, built on
+  :class:`repro.storage.volumes.VolumeLayout`) and the query planner that
+  splits a global scan into shard-local sub-queries;
+* :mod:`repro.cluster.coordinator` — the scatter-gather coordinator: one
+  :class:`repro.service.admission.AdmissionController` front door, per-shard
+  :class:`ShardSource` query sources, gathering of sub-query completions
+  into whole-query :class:`ClusterQueryRecord` outcomes, and the
+  :func:`run_cluster_service` / :func:`compare_cluster_policies` entry
+  points producing a merged cluster :class:`repro.service.slo.SLOReport`.
+
+A 1-shard cluster reproduces :func:`repro.service.run_service` bit for bit
+(same scheduling decisions, same SLO report) — pinned by
+``tests/test_cluster_equivalence.py``.
+"""
+
+from repro.cluster.shardmap import ShardMap
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterQueryRecord,
+    ClusterResult,
+    ShardSource,
+    compare_cluster_policies,
+    run_cluster_service,
+)
+
+__all__ = [
+    "ShardMap",
+    "ClusterCoordinator",
+    "ClusterQueryRecord",
+    "ClusterResult",
+    "ShardSource",
+    "compare_cluster_policies",
+    "run_cluster_service",
+]

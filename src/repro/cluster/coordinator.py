@@ -1,0 +1,420 @@
+"""The scatter-gather coordinator of the sharded cluster.
+
+One :class:`ClusterCoordinator` owns the cluster's front door: the external
+arrival sequence and a single :class:`AdmissionController` that caps the
+number of concurrently executing *whole* queries at the cluster MPL
+(``shards * mpl_per_shard``).  Each shard simulator sees the cluster through
+its own :class:`ShardSource` (a :class:`repro.sim.source.QuerySource`):
+
+* **scatter** — when the front queue admits a query, the coordinator plans
+  it through the :class:`ShardMap` into shard-local sub-queries and hands
+  each owning shard its piece (timestamped with the admission time, so a
+  shard stepping later on the shared clock starts it at the right moment);
+* **gather** — a sub-query completion on any shard reports back through
+  :meth:`ClusterCoordinator.complete_subquery`; the whole query completes
+  when its *last* sub-query finishes, which is when its
+  :class:`ClusterQueryRecord` is written and its front-door MPL slot is
+  released (possibly admitting — and scattering — the next queued query).
+
+A 1-shard cluster degenerates to exactly the single-simulator open-system
+service (:func:`repro.service.run_service`): every query has one sub-query
+identical to itself, every completion releases the front queue immediately,
+and the pending buffers are always drained within the poll that filled
+them.  ``tests/test_cluster_equivalence.py`` pins this bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import ClusterConfig, SystemConfig
+from repro.common.errors import SimulationError
+from repro.cluster.shardmap import ShardMap
+from repro.service.admission import AdmissionController, QueuedQuery
+from repro.service.arrivals import Arrival, offered_rate, validate_arrivals
+from repro.service.slo import SLOReport, build_slo_report, merge_shard_slo_reports
+from repro.sim.lockstep import LockstepRunner
+from repro.sim.results import RunResult
+from repro.sim.runner import AnyABM, ScanSimulator
+from repro.sim.source import NO_STREAM, AdmittedQuery, QuerySource
+
+_EPS = 1e-9
+
+
+@dataclass
+class ClusterQueryRecord:
+    """Gathered outcome of one whole query served by the cluster."""
+
+    query_id: int
+    name: str
+    #: When the query arrived at the cluster's front door.
+    submit_time: float
+    #: When the front queue admitted it (sub-queries scattered).
+    admit_time: float
+    #: When its last sub-query finished (the query's completion).
+    finish_time: float
+    #: Global chunks the query scanned, over all shards.
+    num_chunks: int
+    #: Shards the query's chunk set was scattered across.
+    shards: Tuple[int, ...]
+    #: Chunk loads attributed to the query, summed over its shards
+    #: (filled in after the run from the per-shard results).
+    loads_triggered: int = 0
+
+    @property
+    def num_subqueries(self) -> int:
+        """Number of per-shard sub-queries the query was split into."""
+        return len(self.shards)
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent waiting in the front admission queue."""
+        return max(0.0, self.admit_time - self.submit_time)
+
+    @property
+    def execution_latency(self) -> float:
+        """Admission-to-completion latency (slowest sub-query chain)."""
+        return self.finish_time - self.admit_time
+
+    @property
+    def end_to_end_latency(self) -> float:
+        """Submission-to-completion latency (queue wait plus execution)."""
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class _OpenQuery:
+    """Coordinator-side state of one admitted, not yet gathered query."""
+
+    submit_time: float
+    admit_time: float
+    name: str
+    num_chunks: int
+    shards: Tuple[int, ...]
+    remaining: int
+
+
+class ClusterCoordinator:
+    """Front admission queue plus scatter/gather bookkeeping."""
+
+    def __init__(
+        self,
+        arrivals: Sequence[Arrival],
+        shard_map: ShardMap,
+        admission: AdmissionController,
+    ) -> None:
+        validate_arrivals(arrivals, "cluster workload")
+        self._arrivals = list(arrivals)
+        self._next = 0
+        self.shard_map = shard_map
+        self.admission = admission
+        #: Sub-queries scattered to each shard but not yet polled by it,
+        #: as ``(release_time, admitted)`` in release order.
+        self._pending: List[Deque[Tuple[float, AdmittedQuery]]] = [
+            deque() for _ in range(shard_map.num_shards)
+        ]
+        self._open: Dict[int, _OpenQuery] = {}
+        #: Gathered per-query outcomes, in completion order.
+        self.records: List[ClusterQueryRecord] = []
+        #: Sub-queries scattered to each shard over the run.
+        self.subqueries_scattered: List[int] = [0] * shard_map.num_shards
+
+    # ------------------------------------------------------------ front door
+    def next_arrival_time(self) -> Optional[float]:
+        """Time of the next unconsumed external arrival."""
+        if self._next >= len(self._arrivals):
+            return None
+        return self._arrivals[self._next].time
+
+    def pump(self, now: float) -> None:
+        """Consume external arrivals due by ``now`` through the front queue.
+
+        Admitted queries are scattered immediately (sub-queries land in the
+        owning shards' pending buffers, timestamped with the arrival time);
+        queued and shed arrivals are tracked by the admission controller.
+        Idempotent within one instant: every shard's poll calls this, the
+        first call does the work.
+        """
+        while (
+            self._next < len(self._arrivals)
+            and self._arrivals[self._next].time <= now + _EPS
+        ):
+            arrival = self._arrivals[self._next]
+            self._next += 1
+            entry = self.admission.offer(arrival.spec, arrival.time)
+            if entry is not None:
+                self._scatter(entry, now)
+
+    def drained(self) -> bool:
+        """``True`` once no future query can be admitted (arrivals exhausted
+        and the front queue empty)."""
+        return self._next >= len(self._arrivals) and not self.admission.has_queued()
+
+    # --------------------------------------------------------------- scatter
+    def _scatter(
+        self,
+        entry: QueuedQuery,
+        now: float,
+        direct_shard: Optional[int] = None,
+    ) -> Optional[AdmittedQuery]:
+        """Split one admitted query across its owning shards.
+
+        Sub-queries are buffered for each shard's next poll, except the one
+        addressed to ``direct_shard`` (the shard whose completion released
+        this query), which is returned for immediate start — mirroring how
+        the single-simulator service starts the released query in the same
+        event.
+        """
+        plan = self.shard_map.plan(entry.spec)
+        self._open[entry.spec.query_id] = _OpenQuery(
+            submit_time=entry.submit_time,
+            admit_time=now,
+            name=entry.spec.name,
+            num_chunks=entry.spec.num_chunks,
+            shards=tuple(plan),
+            remaining=len(plan),
+        )
+        direct: Optional[AdmittedQuery] = None
+        for shard, sub_spec in plan.items():
+            admitted = AdmittedQuery(
+                spec=sub_spec,
+                stream=NO_STREAM,
+                submit_time=entry.submit_time,
+            )
+            self.subqueries_scattered[shard] += 1
+            if shard == direct_shard:
+                direct = admitted
+            else:
+                self._pending[shard].append((now, admitted))
+        return direct
+
+    # ---------------------------------------------------------------- gather
+    def complete_subquery(
+        self, shard: int, query_id: int, now: float
+    ) -> List[AdmittedQuery]:
+        """Record one sub-query completion on ``shard``.
+
+        When it was the query's last sub-query the whole query completes:
+        its record is written and its front-door slot is released, which may
+        admit the next queued query — whose sub-query for this same shard
+        (if any) is returned for immediate start.
+        """
+        open_query = self._open.get(query_id)
+        if open_query is None:
+            raise SimulationError(
+                f"sub-query completion for unknown query {query_id}"
+            )
+        if shard not in open_query.shards:
+            raise SimulationError(
+                f"query {query_id} completed on shard {shard} it never touched"
+            )
+        open_query.remaining -= 1
+        if open_query.remaining > 0:
+            return []
+        del self._open[query_id]
+        self.records.append(
+            ClusterQueryRecord(
+                query_id=query_id,
+                name=open_query.name,
+                submit_time=open_query.submit_time,
+                admit_time=open_query.admit_time,
+                finish_time=now,
+                num_chunks=open_query.num_chunks,
+                shards=open_query.shards,
+            )
+        )
+        released = self.admission.release()
+        if released is None:
+            return []
+        direct = self._scatter(released, now, direct_shard=shard)
+        if direct is None:
+            return []
+        return [direct]
+
+    # ------------------------------------------------------------- per shard
+    def take_pending(self, shard: int, now: float) -> List[AdmittedQuery]:
+        """Sub-queries buffered for ``shard`` that are due by ``now``."""
+        queue = self._pending[shard]
+        due: List[AdmittedQuery] = []
+        while queue and queue[0][0] <= now + _EPS:
+            due.append(queue.popleft()[1])
+        return due
+
+    def pending_head_time(self, shard: int) -> Optional[float]:
+        """Release time of the oldest buffered sub-query for ``shard``."""
+        queue = self._pending[shard]
+        if not queue:
+            return None
+        return queue[0][0]
+
+    def has_pending(self, shard: int) -> bool:
+        """Whether ``shard`` still has buffered sub-queries to start."""
+        return bool(self._pending[shard])
+
+    def describe(self) -> Dict[str, object]:
+        """Flat description of the cluster front door (for reports)."""
+        return {
+            "workload": "sharded-cluster",
+            "num_arrivals": len(self._arrivals),
+            **self.shard_map.describe(),
+            **self.admission.describe(),
+        }
+
+
+class ShardSource(QuerySource):
+    """One shard simulator's view of the cluster coordinator."""
+
+    def __init__(self, coordinator: ClusterCoordinator, shard: int) -> None:
+        self.coordinator = coordinator
+        self.shard = shard
+
+    # ------------------------------------------------------------- interface
+    def next_event_time(self) -> Optional[float]:
+        candidates: List[float] = []
+        pending = self.coordinator.pending_head_time(self.shard)
+        if pending is not None:
+            candidates.append(pending)
+        # Every shard wakes for external arrivals: whichever shard steps
+        # first pumps the front queue, the others pick up their pieces.
+        arrival = self.coordinator.next_arrival_time()
+        if arrival is not None:
+            candidates.append(arrival)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def poll(self, now: float) -> List[AdmittedQuery]:
+        self.coordinator.pump(now)
+        return self.coordinator.take_pending(self.shard, now)
+
+    def on_complete(self, query_id: int, now: float) -> List[AdmittedQuery]:
+        return self.coordinator.complete_subquery(self.shard, query_id, now)
+
+    def drained(self) -> bool:
+        return not self.coordinator.has_pending(self.shard) and (
+            self.coordinator.drained()
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {"shard": self.shard, **self.coordinator.describe()}
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one arrival sequence served by the whole cluster."""
+
+    policy: str
+    cluster: ClusterConfig
+    shard_map: ShardMap
+    #: Raw per-shard simulation results (sub-query granularity).
+    shard_runs: List[RunResult]
+    #: Per-shard SLO views of the same runs (sub-query latencies).
+    shard_reports: List[SLOReport]
+    #: The gathered cluster-level SLO report (whole-query latencies,
+    #: front-queue counters, utilisation over all shards' volumes).
+    slo: SLOReport
+    #: Gathered per-query outcomes, sorted by query id.
+    records: List[ClusterQueryRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Cluster makespan: the slowest shard's total time."""
+        return max((run.total_time for run in self.shard_runs), default=0.0)
+
+
+def run_cluster_service(
+    arrivals: Sequence[Arrival],
+    config: SystemConfig,
+    shard_abms: Sequence[AnyABM],
+    cluster: ClusterConfig,
+    num_chunks: Optional[int] = None,
+    record_trace: bool = False,
+) -> ClusterResult:
+    """Serve one arrival sequence with a sharded scatter-gather cluster.
+
+    ``shard_abms`` supplies one Active Buffer Manager per shard, each
+    modelling that shard's local table (``ShardMap.chunks_owned(shard)``
+    chunks); ``config`` describes each shard's machine (disk volumes, CPU,
+    buffer).  ``num_chunks`` is the global table size; by default it is the
+    sum of the shard tables, which is exact for both placements.
+    """
+    abms = list(shard_abms)
+    if num_chunks is None:
+        num_chunks = sum(abm.num_chunks for abm in abms)
+    shard_map = ShardMap.from_cluster_config(cluster, num_chunks)
+    shard_map.validate_shard_tables(tuple(abm.num_chunks for abm in abms))
+    admission = AdmissionController(cluster.front_service())
+    coordinator = ClusterCoordinator(arrivals, shard_map, admission)
+    simulators = [
+        ScanSimulator(
+            ShardSource(coordinator, shard), config, abm, record_trace=record_trace
+        )
+        for shard, abm in enumerate(abms)
+    ]
+    shard_runs = LockstepRunner(simulators).run()
+
+    records = sorted(coordinator.records, key=lambda record: record.query_id)
+    loads: Dict[int, int] = {}
+    for run in shard_runs:
+        for query in run.queries:
+            loads[query.query_id] = (
+                loads.get(query.query_id, 0) + query.loads_triggered
+            )
+    for record in records:
+        record.loads_triggered = loads.get(record.query_id, 0)
+
+    rate = offered_rate(arrivals)
+    shard_reports = [
+        build_slo_report(
+            run,
+            offered=coordinator.subqueries_scattered[shard],
+            shed=0,
+            max_queue_len=0,
+            offered_rate_qps=rate,
+        )
+        for shard, run in enumerate(shard_runs)
+    ]
+    slo = merge_shard_slo_reports(
+        shard_reports,
+        end_to_end=[record.end_to_end_latency for record in records],
+        queue_waits=[record.queue_wait for record in records],
+        executions=[record.execution_latency for record in records],
+        offered=admission.offered,
+        admitted=admission.admitted,
+        completed=len(records),
+        shed=admission.shed_count,
+        max_queue_len=admission.max_queue_len,
+        offered_rate_qps=rate,
+    )
+    return ClusterResult(
+        policy=slo.policy,
+        cluster=cluster,
+        shard_map=shard_map,
+        shard_runs=shard_runs,
+        shard_reports=shard_reports,
+        slo=slo,
+        records=records,
+    )
+
+
+def compare_cluster_policies(
+    arrivals: Sequence[Arrival],
+    config: SystemConfig,
+    shard_abms_for_policy,
+    cluster: ClusterConfig,
+    policies: Sequence[str] = ("normal", "attach", "elevator", "relevance"),
+) -> Dict[str, ClusterResult]:
+    """Serve the identical arrival sequence under each scheduling policy.
+
+    ``shard_abms_for_policy(policy)`` must return a fresh sequence of
+    per-shard ABMs; the cluster analogue of
+    :func:`repro.service.compare_service_policies`.
+    """
+    results: Dict[str, ClusterResult] = {}
+    for policy in policies:
+        results[policy] = run_cluster_service(
+            arrivals, config, shard_abms_for_policy(policy), cluster
+        )
+    return results

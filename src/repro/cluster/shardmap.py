@@ -1,0 +1,171 @@
+"""Chunk-to-shard placement and query planning for the cluster layer.
+
+A :class:`ShardMap` partitions a table's logical chunks across several shard
+simulators the same way :class:`repro.storage.volumes.VolumeLayout`
+partitions them across disk volumes — it *is* a volume layout, reused one
+level up: ``"range"`` placement gives each shard one contiguous chunk range
+(the classic partitioned table), ``"striped"`` round-robins chunks across
+shards.
+
+On top of the placement geometry the map does the cluster's query planning:
+:meth:`ShardMap.plan` splits one global :class:`ScanRequest` into per-shard
+sub-queries whose chunk ids are *shard-local* (each shard simulator models
+its own table of ``chunks_owned(shard)`` chunks numbered from zero), using
+:meth:`VolumeLayout.local_index` for the translation.  Locality is what
+keeps per-shard seek accounting honest: chunks that are adjacent inside a
+shard's range stay adjacent in the sub-query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ConfigurationError
+from repro.core.cscan import ScanRequest
+from repro.storage.volumes import VolumeLayout
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Deterministic mapping of logical chunks onto cluster shards.
+
+    Attributes
+    ----------
+    num_chunks:
+        Number of logical chunks of the (global) table being sharded.
+    num_shards:
+        Number of shard simulators.
+    placement:
+        ``"range"`` (contiguous chunk range per shard) or ``"striped"``.
+    """
+
+    num_chunks: int
+    num_shards: int = 1
+    placement: str = "range"
+    #: The underlying chunk->shard geometry (a volume layout, reused).
+    _layout: VolumeLayout = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # A disk may have more volumes than chunks, but a shard must own at
+        # least one chunk — a zero-chunk shard has no table to simulate and
+        # would only fail later, deep inside ABM construction.
+        if self.num_shards > self.num_chunks:
+            raise ConfigurationError(
+                f"cannot shard {self.num_chunks} chunks across "
+                f"{self.num_shards} shards (every shard must own at least "
+                "one chunk)"
+            )
+        layout = VolumeLayout(
+            num_chunks=self.num_chunks,
+            num_volumes=self.num_shards,
+            placement=self.placement,
+        )
+        object.__setattr__(self, "_layout", layout)
+        # Range placement rounds the per-shard range up, so uneven splits
+        # can starve trailing shards even with shards <= chunks (e.g. 10
+        # chunks across 6 shards leaves the last shard empty).
+        empty = [
+            shard
+            for shard in range(self.num_shards)
+            if not layout.chunks_on(shard)
+        ]
+        if empty:
+            raise ConfigurationError(
+                f"{self.placement!r} placement of {self.num_chunks} chunks "
+                f"across {self.num_shards} shards leaves shard(s) {empty} "
+                "with no chunks; use fewer shards or striped placement"
+            )
+
+    @classmethod
+    def from_cluster_config(
+        cls, cluster: ClusterConfig, num_chunks: int
+    ) -> "ShardMap":
+        """Build the shard map described by a :class:`ClusterConfig`."""
+        return cls(
+            num_chunks=num_chunks,
+            num_shards=cluster.shards,
+            placement=cluster.placement,
+        )
+
+    # ------------------------------------------------------------ geometry
+    def shard_of(self, chunk: int) -> int:
+        """Shard owning the given global chunk."""
+        return self._layout.volume_of(chunk)
+
+    def local_chunk(self, chunk: int) -> int:
+        """Shard-local id of a global chunk (its position on its shard)."""
+        return self._layout.local_index(chunk)
+
+    def chunks_on(self, shard: int) -> List[int]:
+        """All global chunks owned by one shard, in shard-local order."""
+        return self._layout.chunks_on(shard)
+
+    def chunks_owned(self, shard: int) -> int:
+        """Number of chunks one shard owns (its local table size)."""
+        return len(self.chunks_on(shard))
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Chunks owned by each shard, indexed by shard."""
+        return tuple(self.chunks_owned(shard) for shard in range(self.num_shards))
+
+    # ------------------------------------------------------------- planning
+    def shards_of(self, spec: ScanRequest) -> Tuple[int, ...]:
+        """The shards a query's chunk set touches, in shard order."""
+        return tuple(sorted({self.shard_of(chunk) for chunk in spec.chunks}))
+
+    def plan(self, spec: ScanRequest) -> Dict[int, ScanRequest]:
+        """Split one global scan into per-shard sub-queries.
+
+        Returns a dict mapping each touched shard to a sub-query carrying
+        the same ``query_id``, name, columns and per-chunk CPU cost, with
+        the shard's portion of the chunk set translated to shard-local ids.
+        A query touching one shard yields exactly one sub-query identical in
+        shape to the original (which is what makes a 1-shard cluster
+        reproduce the single-simulator service bit for bit).
+        """
+        by_shard: Dict[int, List[int]] = {}
+        for chunk in spec.chunks:
+            by_shard.setdefault(self.shard_of(chunk), []).append(
+                self.local_chunk(chunk)
+            )
+        plan: Dict[int, ScanRequest] = {}
+        for shard in sorted(by_shard):
+            plan[shard] = ScanRequest(
+                query_id=spec.query_id,
+                name=spec.name,
+                chunks=tuple(sorted(by_shard[shard])),
+                columns=spec.columns,
+                cpu_per_chunk=spec.cpu_per_chunk,
+            )
+        return plan
+
+    def validate_shard_tables(self, shard_chunk_counts: Tuple[int, ...]) -> None:
+        """Check that per-shard table sizes match the chunks each shard owns.
+
+        ``shard_chunk_counts[i]`` is the number of chunks shard *i*'s ABM
+        models; a mismatch would silently mis-route sub-query chunks.
+        """
+        if len(shard_chunk_counts) != self.num_shards:
+            raise ConfigurationError(
+                f"cluster has {self.num_shards} shards but "
+                f"{len(shard_chunk_counts)} shard tables were supplied"
+            )
+        for shard, count in enumerate(shard_chunk_counts):
+            owned = self.chunks_owned(shard)
+            if count != owned:
+                raise ConfigurationError(
+                    f"shard {shard} owns {owned} chunks of the table but its "
+                    f"ABM models {count}"
+                )
+
+    def describe(self) -> Dict[str, object]:
+        """Flat description of the sharding (for reports)."""
+        return {
+            "num_chunks": self.num_chunks,
+            "num_shards": self.num_shards,
+            "shard_placement": self.placement,
+            "shard_sizes": list(self.shard_sizes),
+        }

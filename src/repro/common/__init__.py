@@ -34,6 +34,7 @@ from repro.common.config import (
     BufferConfig,
     SystemConfig,
     ServiceConfig,
+    ClusterConfig,
     ADMISSION_DISCIPLINES,
     VOLUME_PLACEMENTS,
     PAPER_NSM_SYSTEM,
@@ -61,6 +62,7 @@ __all__ = [
     "BufferConfig",
     "SystemConfig",
     "ServiceConfig",
+    "ClusterConfig",
     "ADMISSION_DISCIPLINES",
     "VOLUME_PLACEMENTS",
     "PAPER_NSM_SYSTEM",

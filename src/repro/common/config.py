@@ -251,6 +251,95 @@ class ServiceConfig:
         }
 
 
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of the sharded scatter-gather cluster layer.
+
+    A cluster partitions the table's chunks across several independent
+    shard simulators (each its own ABM + disk) behind one front admission
+    queue; a query is scattered into per-shard sub-queries and completes
+    when its last sub-query finishes.
+
+    Attributes
+    ----------
+    shards:
+        Number of shard simulators the table is partitioned across.
+    placement:
+        How chunks map onto shards: ``"range"`` (each shard owns one
+        contiguous chunk range — the partitioned-table layout) or
+        ``"striped"`` (round-robin).
+    mpl_per_shard:
+        Multiprogramming level each shard is sized for.  The front
+        admission queue caps the cluster-wide concurrency at
+        ``shards * mpl_per_shard`` whole queries.
+    queue_capacity:
+        Bound on the front admission queue (``None`` = unbounded,
+        ``0`` = pure loss system), as in :class:`ServiceConfig`.
+    discipline:
+        Front-queue admission order: ``"fifo"`` or ``"priority"``.
+    """
+
+    shards: int = 1
+    placement: str = "range"
+    mpl_per_shard: int = 8
+    queue_capacity: Optional[int] = None
+    discipline: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.mpl_per_shard < 1:
+            raise ConfigurationError(
+                f"mpl_per_shard must be >= 1, got {self.mpl_per_shard}"
+            )
+        if self.placement not in VOLUME_PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown shard placement {self.placement!r}; "
+                f"expected one of {VOLUME_PLACEMENTS}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 0:
+            raise ConfigurationError("queue_capacity must be >= 0 or None")
+        if self.discipline not in ADMISSION_DISCIPLINES:
+            raise ConfigurationError(
+                f"unknown admission discipline {self.discipline!r}; "
+                f"expected one of {ADMISSION_DISCIPLINES}"
+            )
+
+    @property
+    def cluster_mpl(self) -> int:
+        """Cluster-wide cap on concurrently executing whole queries."""
+        return self.shards * self.mpl_per_shard
+
+    def front_service(self) -> ServiceConfig:
+        """The front admission queue expressed as a :class:`ServiceConfig`.
+
+        A 1-shard cluster therefore admits exactly like a single-simulator
+        service with ``max_concurrent=mpl_per_shard``.
+        """
+        return ServiceConfig(
+            max_concurrent=self.cluster_mpl,
+            queue_capacity=self.queue_capacity,
+            discipline=self.discipline,
+        )
+
+    def with_shards(self, shards: int) -> "ClusterConfig":
+        """Return a copy of this configuration with a different shard count."""
+        return replace(self, shards=shards)
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the cluster (for reports)."""
+        return {
+            "shards": self.shards,
+            "shard_placement": self.placement,
+            "mpl_per_shard": self.mpl_per_shard,
+            "cluster_mpl": self.cluster_mpl,
+            "queue_capacity": (
+                "unbounded" if self.queue_capacity is None else self.queue_capacity
+            ),
+            "discipline": self.discipline,
+        }
+
+
 #: The row-store (NSM/PAX) configuration of Section 5.1: 16 MB chunks,
 #: 64-chunk (1 GB) buffer pool, ~200 MB/s RAID, dual-core CPU.
 PAPER_NSM_SYSTEM = SystemConfig()

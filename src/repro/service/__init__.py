@@ -5,7 +5,8 @@ back-to-back queries).  This package models the same ABM and policies as a
 *service* under sustained traffic:
 
 * :mod:`repro.service.arrivals` -- Poisson and bursty ON/OFF arrival
-  generators producing timestamped query arrivals from query templates;
+  generators producing timestamped query arrivals from query templates,
+  plus trace replay (CSV/JSONL query logs in, the same SLO reports out);
 * :mod:`repro.service.admission` -- a bounded admission queue that caps the
   multiprogramming level (MPL) and sheds overload (FIFO or
   shortest-job-first);
@@ -24,6 +25,9 @@ from repro.service.arrivals import (
     poisson_arrivals,
     onoff_arrivals,
     offered_rate,
+    replay_arrivals,
+    validate_arrivals,
+    write_arrival_trace,
 )
 from repro.service.admission import AdmissionController, QueuedQuery
 from repro.service.server import (
@@ -35,6 +39,7 @@ from repro.service.server import (
 from repro.service.slo import (
     SLOReport,
     build_slo_report,
+    merge_shard_slo_reports,
     render_slo_table,
     render_volume_utilisation,
 )
@@ -44,6 +49,9 @@ __all__ = [
     "poisson_arrivals",
     "onoff_arrivals",
     "offered_rate",
+    "replay_arrivals",
+    "validate_arrivals",
+    "write_arrival_trace",
     "AdmissionController",
     "QueuedQuery",
     "OpenSystemSource",
@@ -52,6 +60,7 @@ __all__ = [
     "compare_service_policies",
     "SLOReport",
     "build_slo_report",
+    "merge_shard_slo_reports",
     "render_slo_table",
     "render_volume_utilisation",
 ]

@@ -11,19 +11,29 @@ sequences:
   standard open-system model;
 * :func:`onoff_arrivals` — bursty traffic alternating between ON windows
   (Poisson arrivals at a burst rate) and silent OFF windows, which stresses
-  the admission queue far more than a smooth process of equal average rate.
+  the admission queue far more than a smooth process of equal average rate;
+* :func:`replay_arrivals` — a *trace replay* source: timestamped query logs
+  (CSV or JSONL, see :func:`write_arrival_trace` for the format) are read
+  back into the same :class:`Arrival` sequence, so real traces drive the
+  same admission control and SLO reports as the synthetic generators.
 
-Both are deterministic given a seed (via :func:`repro.common.rng.make_rng`):
-the same seed reproduces the exact same arrival times *and* the same query
-instances (template choice and scanned range).
+The generators are deterministic given a seed (via
+:func:`repro.common.rng.make_rng`): the same seed reproduces the exact same
+arrival times *and* the same query instances (template choice and scanned
+range).  Traces round-trip exactly: ``replay_arrivals(write_arrival_trace(
+arrivals, path))`` reproduces the original sequence bit for bit (floats are
+serialised with full precision).
 """
 
 from __future__ import annotations
 
+import csv
+import json
+import os
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SchedulingError
 from repro.common.rng import make_rng
 from repro.core.cscan import ScanRequest
 from repro.workload.queries import AnyLayout, QueryTemplate, make_scan_request
@@ -35,6 +45,39 @@ class Arrival:
 
     time: float
     spec: ScanRequest
+
+
+#: Slack allowed in the sortedness check of :func:`validate_arrivals`
+#: (matches the event cores' time-comparison epsilon).
+_TIME_EPS = 1e-9
+
+
+def validate_arrivals(
+    arrivals: Sequence[Arrival], where: str = "service workload"
+) -> None:
+    """Check an arrival sequence is servable: non-empty, sorted by time,
+    no duplicated query ids.
+
+    Shared by every front door (the single-simulator
+    :class:`repro.service.server.OpenSystemSource` and the cluster
+    coordinator) so they reject malformed workloads identically.  Raises
+    :class:`repro.common.errors.SimulationError` on violation.
+    """
+    from repro.common.errors import SimulationError
+
+    if not arrivals:
+        raise SimulationError(f"{where} contains no arrivals")
+    seen_ids = set()
+    previous = float("-inf")
+    for arrival in arrivals:
+        if arrival.time < previous - _TIME_EPS:
+            raise SimulationError("arrivals must be sorted by time")
+        previous = arrival.time
+        if arrival.spec.query_id in seen_ids:
+            raise SimulationError(
+                f"duplicate query id {arrival.spec.query_id} in workload"
+            )
+        seen_ids.add(arrival.spec.query_id)
 
 
 def _validate(
@@ -114,6 +157,219 @@ def onoff_arrivals(
         spec = make_scan_request(template, first_query_id + index, layout, rng)
         arrivals.append(Arrival(time=wall, spec=spec))
     return arrivals
+
+
+# --------------------------------------------------------------- trace replay
+#: CSV header of an arrival trace (one row per arrival).
+_TRACE_FIELDS = ("time", "query_id", "name", "chunks", "columns", "cpu_per_chunk")
+
+
+def _chunk_runs(chunks: Sequence[int]) -> List[Tuple[int, int]]:
+    """Compress a sorted chunk list into inclusive ``(start, end)`` runs."""
+    runs: List[Tuple[int, int]] = []
+    for chunk in chunks:
+        if runs and chunk == runs[-1][1] + 1:
+            runs[-1] = (runs[-1][0], chunk)
+        else:
+            runs.append((chunk, chunk))
+    return runs
+
+
+def _encode_chunks(chunks: Sequence[int]) -> str:
+    """Chunk list as compact ``"0-31;40;52-60"`` range notation."""
+    return ";".join(
+        str(start) if start == end else f"{start}-{end}"
+        for start, end in _chunk_runs(chunks)
+    )
+
+
+def _decode_chunks(text: str, where: str) -> Tuple[int, ...]:
+    """Parse ``"0-31;40"`` range notation back into a chunk tuple."""
+    chunks: List[int] = []
+    for token in text.split(";"):
+        token = token.strip()
+        if not token:
+            continue
+        start, dash, end = token.partition("-")
+        try:
+            if dash:
+                first, last = int(start), int(end)
+                if first > last:
+                    raise ConfigurationError(
+                        f"{where}: reversed chunk range {token!r} "
+                        "(start must not exceed end)"
+                    )
+                chunks.extend(range(first, last + 1))
+            else:
+                chunks.append(int(token))
+        except ValueError:
+            raise ConfigurationError(
+                f"{where}: malformed chunk token {token!r} "
+                "(expected an integer or 'start-end' range)"
+            )
+    return tuple(chunks)
+
+
+def _trace_format(path: str) -> str:
+    """``"csv"`` or ``"jsonl"``, decided by the file extension."""
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".csv":
+        return "csv"
+    if extension in (".jsonl", ".ndjson", ".json"):
+        return "jsonl"
+    raise ConfigurationError(
+        f"unknown trace format {extension!r} for {path!r} "
+        "(expected .csv, .jsonl, .ndjson or .json)"
+    )
+
+
+def _record_to_arrival(record: Dict[str, object], where: str) -> Arrival:
+    """Build one :class:`Arrival` from a parsed trace record."""
+    missing = [key for key in ("time", "query_id", "chunks") if key not in record]
+    if missing:
+        raise ConfigurationError(f"{where}: missing field(s) {missing}")
+    try:
+        time = float(record["time"])  # type: ignore[arg-type]
+        query_id = int(record["query_id"])  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{where}: 'time' must be a number and 'query_id' an integer"
+        )
+    raw_chunks = record["chunks"]
+    if isinstance(raw_chunks, str):
+        chunks = _decode_chunks(raw_chunks, where)
+    else:
+        try:
+            chunks = tuple(int(chunk) for chunk in raw_chunks)  # type: ignore[union-attr]
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"{where}: 'chunks' must be a list of integers or range notation"
+            )
+    raw_columns = record.get("columns", ())
+    if isinstance(raw_columns, str):
+        columns = tuple(
+            token.strip() for token in raw_columns.split(";") if token.strip()
+        )
+    else:
+        columns = tuple(str(column) for column in raw_columns)  # type: ignore[union-attr]
+    try:
+        cpu_per_chunk = float(record.get("cpu_per_chunk", 0.0) or 0.0)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{where}: 'cpu_per_chunk' must be a number")
+    try:
+        spec = ScanRequest(
+            query_id=query_id,
+            name=str(record.get("name") or f"trace-{query_id}"),
+            chunks=tuple(sorted(set(chunks))),
+            columns=columns,
+            cpu_per_chunk=cpu_per_chunk,
+        )
+    except SchedulingError as error:
+        # ScanRequest's own validation (empty/negative chunk sets, ...)
+        # must surface with the trace location like every other parse error.
+        raise ConfigurationError(f"{where}: invalid query record ({error})")
+    return Arrival(time=time, spec=spec)
+
+
+def write_arrival_trace(arrivals: Sequence[Arrival], path: str) -> str:
+    """Serialise an arrival sequence as a timestamped query log.
+
+    The format follows the file extension: ``.csv`` writes one header row
+    plus one row per arrival (chunks in compact ``"0-31;40"`` range
+    notation, columns ``;``-joined), ``.jsonl`` / ``.ndjson`` / ``.json``
+    write one JSON object per line.  Floats are serialised with ``repr``
+    precision, so :func:`replay_arrivals` round-trips bit for bit.
+    Returns ``path`` for convenient chaining.
+    """
+    fmt = _trace_format(path)
+    for arrival in arrivals:
+        spec = arrival.spec
+        # Reject what the trace notation cannot represent faithfully: ';'
+        # delimits column names, and an empty name would replay as the
+        # "trace-<id>" default — both would round-trip to a different query.
+        if any(";" in column for column in spec.columns):
+            raise ConfigurationError(
+                f"query {spec.query_id}: column names containing ';' cannot "
+                "be serialised to an arrival trace"
+            )
+        if not spec.name:
+            raise ConfigurationError(
+                f"query {spec.query_id}: queries need a non-empty name to "
+                "round-trip through an arrival trace"
+            )
+    with open(path, "w", newline="") as handle:
+        if fmt == "csv":
+            writer = csv.writer(handle)
+            writer.writerow(_TRACE_FIELDS)
+            for arrival in arrivals:
+                spec = arrival.spec
+                writer.writerow(
+                    [
+                        repr(arrival.time),
+                        spec.query_id,
+                        spec.name,
+                        _encode_chunks(spec.chunks),
+                        ";".join(spec.columns),
+                        repr(spec.cpu_per_chunk),
+                    ]
+                )
+        else:
+            for arrival in arrivals:
+                spec = arrival.spec
+                handle.write(
+                    json.dumps(
+                        {
+                            "time": arrival.time,
+                            "query_id": spec.query_id,
+                            "name": spec.name,
+                            "chunks": _encode_chunks(spec.chunks),
+                            "columns": list(spec.columns),
+                            "cpu_per_chunk": spec.cpu_per_chunk,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+    return path
+
+
+def replay_arrivals(path: str) -> List[Arrival]:
+    """Read a timestamped query log back into an arrival sequence.
+
+    Accepts the two formats :func:`write_arrival_trace` produces (and, for
+    logs written by other tools, explicit chunk lists in JSONL records).
+    Records are sorted by timestamp — real-world logs are often only
+    approximately ordered — with ties kept in file order; query ids must be
+    unique, which the admission source re-checks on use.
+    """
+    fmt = _trace_format(path)
+    arrivals: List[Arrival] = []
+    with open(path, newline="") as handle:
+        if fmt == "csv":
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                raise ConfigurationError(f"{path}: empty trace (no header row)")
+            for line, row in enumerate(reader, start=2):
+                arrivals.append(_record_to_arrival(row, f"{path}:{line}"))
+        else:
+            for line, text in enumerate(handle, start=1):
+                text = text.strip()
+                if not text:
+                    continue
+                try:
+                    record = json.loads(text)
+                except json.JSONDecodeError as error:
+                    raise ConfigurationError(
+                        f"{path}:{line}: malformed JSON ({error})"
+                    )
+                if not isinstance(record, dict):
+                    raise ConfigurationError(
+                        f"{path}:{line}: expected one JSON object per line"
+                    )
+                arrivals.append(_record_to_arrival(record, f"{path}:{line}"))
+    if not arrivals:
+        raise ConfigurationError(f"{path}: trace contains no arrivals")
+    return sorted(arrivals, key=lambda arrival: arrival.time)
 
 
 def offered_rate(arrivals: Sequence[Arrival]) -> float:

@@ -17,12 +17,11 @@ under several scheduling policies, which is the open-system analogue of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.config import ServiceConfig, SystemConfig
-from repro.common.errors import SimulationError
 from repro.service.admission import AdmissionController
-from repro.service.arrivals import Arrival, offered_rate
+from repro.service.arrivals import Arrival, offered_rate, validate_arrivals
 from repro.service.slo import SLOReport, build_slo_report
 from repro.sim.results import RunResult
 from repro.sim.runner import AnyABM, run_simulation
@@ -39,19 +38,7 @@ class OpenSystemSource(QuerySource):
         arrivals: Sequence[Arrival],
         admission: AdmissionController,
     ) -> None:
-        if not arrivals:
-            raise SimulationError("service workload contains no arrivals")
-        seen_ids: Set[int] = set()
-        previous = float("-inf")
-        for arrival in arrivals:
-            if arrival.time < previous - _EPS:
-                raise SimulationError("arrivals must be sorted by time")
-            previous = arrival.time
-            if arrival.spec.query_id in seen_ids:
-                raise SimulationError(
-                    f"duplicate query id {arrival.spec.query_id} in workload"
-                )
-            seen_ids.add(arrival.spec.query_id)
+        validate_arrivals(arrivals, "service workload")
         self._arrivals = list(arrivals)
         self._next = 0
         self.admission = admission

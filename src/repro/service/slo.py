@@ -135,6 +135,75 @@ def build_slo_report(
     )
 
 
+def merge_shard_slo_reports(
+    shard_reports: Sequence[SLOReport],
+    end_to_end: Sequence[float],
+    queue_waits: Sequence[float],
+    executions: Sequence[float],
+    offered: int,
+    admitted: int,
+    completed: int,
+    shed: int,
+    max_queue_len: int = 0,
+    offered_rate_qps: float = 0.0,
+) -> SLOReport:
+    """Gather per-shard reports into one cluster-level :class:`SLOReport`.
+
+    The latency samples (``end_to_end`` / ``queue_waits`` / ``executions``)
+    are *whole-query* quantities measured by the cluster coordinator —
+    sub-query latencies cannot simply be concatenated, a query is only as
+    fast as its slowest sub-query.  The shard reports contribute the
+    utilisation side: every shard volume becomes one entry of the merged
+    ``volume_utilisation`` (the way :func:`render_volume_utilisation`
+    aggregates volumes), re-normalised to the cluster makespan so shards
+    that finished early count as idle for the remainder.  The front-queue
+    counters (``offered`` … ``max_queue_len``) come from the cluster's
+    single admission controller.
+
+    With a single shard every merged quantity reduces to the shard's own
+    (the scale factor is exactly 1.0 and is skipped), preserving the
+    1-shard golden-trace equivalence with :func:`run_service` reports.
+    """
+    if not shard_reports:
+        raise ValueError("cannot merge zero shard reports")
+    duration = max(report.duration for report in shard_reports)
+    busy_volume_seconds = 0.0
+    total_volumes = 0
+    volume_utilisation: List[float] = []
+    for report in shard_reports:
+        total_volumes += report.num_volumes
+        busy_volume_seconds += (
+            report.disk_utilisation * report.num_volumes * report.duration
+        )
+        per_volume = list(report.volume_utilisation) or [report.disk_utilisation]
+        scale = report.duration / duration if duration > 0 else 0.0
+        if scale == 1.0:
+            volume_utilisation.extend(per_volume)
+        else:
+            volume_utilisation.extend(value * scale for value in per_volume)
+    if len(shard_reports) == 1:
+        disk_utilisation = shard_reports[0].disk_utilisation
+    elif duration > 0 and total_volumes > 0:
+        disk_utilisation = busy_volume_seconds / (total_volumes * duration)
+    else:
+        disk_utilisation = 0.0
+    return SLOReport(
+        policy=shard_reports[0].policy,
+        offered=offered,
+        admitted=admitted,
+        completed=completed,
+        shed=shed,
+        duration=duration,
+        offered_rate_qps=offered_rate_qps,
+        max_queue_len=max_queue_len,
+        latency=LatencySummary.from_values(end_to_end),
+        queue_wait=LatencySummary.from_values(queue_waits),
+        execution=LatencySummary.from_values(executions),
+        disk_utilisation=disk_utilisation,
+        volume_utilisation=tuple(volume_utilisation),
+    )
+
+
 def render_slo_table(
     reports: Sequence[SLOReport],
     title: Optional[str] = "Service-level statistics",

@@ -15,10 +15,13 @@ streams, modelling:
 The main entry points are :func:`repro.sim.runner.run_simulation` and the
 :func:`repro.sim.setup.make_nsm_abm` / :func:`repro.sim.setup.make_dsm_abm`
 factories; parameter sweeps used by the Figure 6/7 benchmarks live in
-:mod:`repro.sim.sweeps`.
+:mod:`repro.sim.sweeps`.  :class:`repro.sim.lockstep.LockstepRunner`
+advances several simulators on one shared clock for the cluster layer
+(:mod:`repro.cluster`).
 """
 
 from repro.sim.results import QueryResult, StreamResult, RunResult
+from repro.sim.lockstep import LockstepRunner
 from repro.sim.runner import ScanSimulator, run_simulation, run_standalone
 from repro.sim.setup import make_nsm_abm, make_dsm_abm, nsm_abm_factory, dsm_abm_factory
 from repro.sim.source import AdmittedQuery, ClosedStreamSource, QuerySource, NO_STREAM
@@ -28,6 +31,7 @@ __all__ = [
     "StreamResult",
     "RunResult",
     "ScanSimulator",
+    "LockstepRunner",
     "run_simulation",
     "run_standalone",
     "make_nsm_abm",

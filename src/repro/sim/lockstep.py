@@ -1,0 +1,80 @@
+"""Lockstep execution of several scan simulators on one shared clock.
+
+The cluster layer (:mod:`repro.cluster`) runs one :class:`ScanSimulator` per
+shard — each with its own ABM, disk volumes and event heaps — but the shards
+serve sub-queries of the *same* front-door queries, so their clocks must stay
+consistent: a sub-query scattered at (global) time ``t`` must not land on a
+shard whose clock already passed ``t``.
+
+:class:`LockstepRunner` guarantees that by advancing the fleet one global
+event at a time: each round it asks every simulator for its next event time
+(:meth:`ScanSimulator.next_step_time`), takes the global minimum, and steps
+exactly the simulators whose event is due at that minimum.  Simulators with
+later events are left untouched, so their clocks never pass the global
+frontier, and any sub-query scattered during the round carries a timestamp
+at (or after) the frontier.
+
+Because a fleet of one is stepped on every round, a single simulator driven
+by :class:`LockstepRunner` executes the exact event sequence of
+:meth:`ScanSimulator.run` — the cluster's 1-shard golden-trace equivalence
+rests on this.
+
+Every *live* simulator is re-probed each round (``next_step_time`` must
+kick its disk before the next event time is known), so a shard that is not
+stepped still pays one policy call per global round; that keeps the driver
+oblivious to source internals — no cross-layer cache invalidation — at the
+price of slightly inflated per-shard ``scheduling_calls`` in deep
+multi-shard fleets.  Finished simulators are skipped entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.errors import SimulationError
+from repro.sim.results import RunResult
+from repro.sim.runner import _EPS, _MAX_EVENTS, ScanSimulator
+
+
+class LockstepRunner:
+    """Advances several :class:`ScanSimulator` instances on one clock."""
+
+    def __init__(self, simulators: Sequence[ScanSimulator]) -> None:
+        if not simulators:
+            raise SimulationError("lockstep runner needs at least one simulator")
+        self._simulators = list(simulators)
+
+    def run(self) -> List[RunResult]:
+        """Execute every simulator to completion; returns one result each."""
+        simulators = self._simulators
+        for simulator in simulators:
+            simulator.begin_run()
+        rounds = 0
+        while not all(simulator.is_done() for simulator in simulators):
+            rounds += 1
+            if rounds > _MAX_EVENTS:
+                raise SimulationError(
+                    f"lockstep simulation exceeded {_MAX_EVENTS} rounds; "
+                    "likely a scheduling livelock"
+                )
+            # Finished simulators are skipped outright: once a shard's
+            # source is drained it can never receive another sub-query, so
+            # probing it (which would invoke its ABM's policy via the disk
+            # kick) only inflates its per-run scheduling statistics.
+            times: List[Optional[float]] = [
+                None if simulator.is_done() else simulator.next_step_time()
+                for simulator in simulators
+            ]
+            live = [time for time in times if time is not None]
+            if not live:
+                detail = "; ".join(
+                    f"shard {index}: {simulator.progress_summary()}"
+                    for index, simulator in enumerate(simulators)
+                    if not simulator.is_done()
+                )
+                raise SimulationError(f"cluster deadlock: {detail}")
+            frontier = min(live)
+            for simulator, time in zip(simulators, times):
+                if time is not None and time <= frontier + _EPS:
+                    simulator.step(time)
+        return [simulator.finish() for simulator in simulators]

@@ -147,29 +147,63 @@ class ScanSimulator:
     # ------------------------------------------------------------------ API
     def run(self) -> RunResult:
         """Execute the workload to completion and return the run result."""
-        self._scheduling_calls_base = getattr(self._abm.policy, "scheduling_calls", 0)
+        self.begin_run()
         events = 0
-        while not (self._source.drained() and self._finished == self._started):
+        while not self.is_done():
             events += 1
             if events > _MAX_EVENTS:
                 raise SimulationError(
                     f"simulation exceeded {_MAX_EVENTS} events; "
                     "likely a scheduling livelock"
                 )
-            self._kick_disk()
-            next_time = self._next_event_time()
+            next_time = self.next_step_time()
             if next_time is None:
                 raise SimulationError(
-                    "simulation deadlock: "
-                    f"{len(self._blocked)} blocked queries, disk idle, "
-                    f"{self._started - self._finished} admitted queries "
-                    f"unfinished (policy {self._abm.policy.name!r})"
+                    "simulation deadlock: " + self.progress_summary()
                 )
-            self._advance_to(next_time)
-            self._process_disk_completion()
-            self._process_cpu_completions()
-            self._process_arrivals()
+            self.step(next_time)
+        return self.finish()
+
+    # ------------------------------------------------------------- step API
+    # The same event loop, exposed as discrete steps so an external driver
+    # (:class:`repro.sim.lockstep.LockstepRunner`) can interleave several
+    # simulators on one shared clock.  ``run()`` is exactly
+    # ``begin_run(); while not is_done(): step(next_step_time()); finish()``,
+    # so a simulator driven alone through this API behaves bit-for-bit like
+    # ``run()``.
+    def begin_run(self) -> None:
+        """Capture per-run baselines; call once before the first step."""
+        self._scheduling_calls_base = getattr(self._abm.policy, "scheduling_calls", 0)
+
+    def is_done(self) -> bool:
+        """``True`` once the source is drained and every query finished."""
+        return self._source.drained() and self._finished == self._started
+
+    def next_step_time(self) -> Optional[float]:
+        """Issue any possible disk loads, then return the time of the next
+        event (``None`` if no event is scheduled — for a lone simulator that
+        is a deadlock; under a lockstep driver it means "waiting")."""
+        self._kick_disk()
+        return self._next_event_time()
+
+    def step(self, now: float) -> None:
+        """Advance the clock to ``now`` and process every event due there."""
+        self._advance_to(now)
+        self._process_disk_completion()
+        self._process_cpu_completions()
+        self._process_arrivals()
+
+    def finish(self) -> RunResult:
+        """Build the run result; call once after the last step."""
         return self._build_result()
+
+    def progress_summary(self) -> str:
+        """One-line progress/diagnostic summary (used in deadlock errors)."""
+        return (
+            f"{len(self._blocked)} blocked queries, disk idle, "
+            f"{self._started - self._finished} admitted queries "
+            f"unfinished (policy {self._abm.policy.name!r})"
+        )
 
     # ------------------------------------------------------------ event core
     def _cpu_entry_valid(self, entry: Tuple[float, int, int]) -> bool:

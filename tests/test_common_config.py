@@ -4,10 +4,12 @@ import pytest
 
 from repro.common.config import (
     BufferConfig,
+    ClusterConfig,
     CpuConfig,
     DiskConfig,
     PAPER_DSM_SYSTEM,
     PAPER_NSM_SYSTEM,
+    ServiceConfig,
     SystemConfig,
 )
 from repro.common.errors import ConfigurationError
@@ -124,3 +126,73 @@ class TestSystemConfig:
     def test_rejects_negative_stream_delay(self):
         with pytest.raises(ConfigurationError):
             SystemConfig(stream_start_delay_s=-1.0)
+
+
+class TestServiceConfigValidation:
+    def test_rejects_non_positive_mpl(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_concurrent=0)
+
+    def test_rejects_negative_queue_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(queue_capacity=-1)
+
+    def test_rejects_unknown_discipline(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(discipline="lifo")
+
+    def test_accepts_loss_system_and_unbounded_queue(self):
+        assert ServiceConfig(queue_capacity=0).queue_capacity == 0
+        assert ServiceConfig(queue_capacity=None).queue_capacity is None
+
+
+class TestClusterConfig:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(shards=0)
+
+    def test_rejects_non_positive_per_shard_mpl(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(mpl_per_shard=0)
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(placement="hashed")
+
+    def test_rejects_unknown_discipline(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(discipline="random")
+
+    def test_rejects_negative_queue_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(queue_capacity=-5)
+
+    def test_cluster_mpl_scales_with_shards(self):
+        cluster = ClusterConfig(shards=4, mpl_per_shard=6)
+        assert cluster.cluster_mpl == 24
+
+    def test_front_service_mirrors_cluster_knobs(self):
+        cluster = ClusterConfig(
+            shards=2, mpl_per_shard=3, queue_capacity=10, discipline="priority"
+        )
+        front = cluster.front_service()
+        assert front.max_concurrent == 6
+        assert front.queue_capacity == 10
+        assert front.discipline == "priority"
+
+    def test_one_shard_front_equals_plain_service(self):
+        cluster = ClusterConfig(shards=1, mpl_per_shard=8)
+        assert cluster.front_service() == ServiceConfig(max_concurrent=8)
+
+    def test_with_shards_returns_modified_copy(self):
+        cluster = ClusterConfig(shards=1)
+        wide = cluster.with_shards(8)
+        assert wide.shards == 8
+        assert cluster.shards == 1
+
+    def test_describe_contains_key_parameters(self):
+        description = ClusterConfig(shards=4, mpl_per_shard=2).describe()
+        assert description["shards"] == 4
+        assert description["cluster_mpl"] == 8
+        assert description["shard_placement"] == "range"
+        assert description["queue_capacity"] == "unbounded"

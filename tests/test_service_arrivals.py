@@ -4,9 +4,12 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.service.arrivals import (
+    Arrival,
     offered_rate,
     onoff_arrivals,
     poisson_arrivals,
+    replay_arrivals,
+    write_arrival_trace,
 )
 from repro.workload.queries import QueryFamily, QueryTemplate
 
@@ -135,3 +138,111 @@ class TestOfferedRate:
             Arrival(time=5.0, spec=make_request(2, range(2))),
         ]
         assert offered_rate(burst) == float("inf")
+
+
+class TestTraceReplay:
+    @pytest.mark.parametrize("extension", ["jsonl", "csv"])
+    def test_round_trip_is_exact(self, templates, nsm_layout, tmp_path, extension):
+        arrivals = poisson_arrivals(templates, nsm_layout, 1.5, 25, seed=5)
+        path = write_arrival_trace(arrivals, str(tmp_path / f"trace.{extension}"))
+        assert replay_arrivals(path) == arrivals
+
+    def test_round_trip_preserves_columns_and_union_ranges(
+        self, tmp_path, request_factory
+    ):
+        spec = request_factory(
+            7, [0, 1, 2, 10, 11, 40], columns=("key", "price"), cpu_per_chunk=0.125
+        )
+        arrivals = [Arrival(time=0.75, spec=spec)]
+        for name in ("t.csv", "t.jsonl"):
+            back = replay_arrivals(write_arrival_trace(arrivals, str(tmp_path / name)))
+            assert back == arrivals
+
+    def test_replay_sorts_by_time_keeping_ties_stable(self, tmp_path, request_factory):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"time": 2.0, "query_id": 1, "chunks": [0]}\n')
+            handle.write('{"time": 1.0, "query_id": 2, "chunks": [1]}\n')
+            handle.write('{"time": 1.0, "query_id": 3, "chunks": [2]}\n')
+        arrivals = replay_arrivals(path)
+        assert [a.spec.query_id for a in arrivals] == [2, 3, 1]
+        assert arrivals[0].spec.name == "trace-2"  # default name
+
+    def test_jsonl_accepts_explicit_chunk_lists(self, tmp_path):
+        path = str(tmp_path / "trace.ndjson")
+        with open(path, "w") as handle:
+            handle.write(
+                '{"time": 0.0, "query_id": 0, "chunks": [3, 1, 2],'
+                ' "columns": "a;b", "cpu_per_chunk": "0.5"}\n'
+            )
+        (arrival,) = replay_arrivals(path)
+        assert arrival.spec.chunks == (1, 2, 3)
+        assert arrival.spec.columns == ("a", "b")
+        assert arrival.spec.cpu_per_chunk == 0.5
+
+    def test_replayed_trace_drives_the_service(
+        self, templates, nsm_layout, small_config, tmp_path
+    ):
+        from repro.common.config import ServiceConfig
+        from repro.service import run_service
+        from repro.sim.results import scheduling_fingerprint
+        from repro.sim.setup import make_nsm_abm
+
+        arrivals = poisson_arrivals(templates, nsm_layout, 1.0, 10, seed=9)
+        replayed = replay_arrivals(
+            write_arrival_trace(arrivals, str(tmp_path / "trace.csv"))
+        )
+        service = ServiceConfig(max_concurrent=3)
+
+        def run(sequence):
+            abm = make_nsm_abm(
+                nsm_layout, small_config, "relevance", capacity_chunks=8
+            )
+            return run_service(sequence, small_config, abm, service, record_trace=True)
+
+        direct = run(arrivals)
+        from_trace = run(replayed)
+        assert scheduling_fingerprint(direct.run) == scheduling_fingerprint(
+            from_trace.run
+        )
+        assert direct.slo == from_trace.slo
+
+    def test_error_paths(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            replay_arrivals(str(tmp_path / "trace.txt"))  # unknown extension
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ConfigurationError):
+            replay_arrivals(str(empty))
+        missing = tmp_path / "missing.jsonl"
+        missing.write_text('{"time": 1.0, "chunks": [0]}\n')  # no query_id
+        with pytest.raises(ConfigurationError):
+            replay_arrivals(str(missing))
+        malformed = tmp_path / "bad.csv"
+        malformed.write_text("time,query_id,name,chunks,columns,cpu_per_chunk\n"
+                             "1.0,0,q,3-x,,0.1\n")
+        with pytest.raises(ConfigurationError):
+            replay_arrivals(str(malformed))
+        reversed_range = tmp_path / "reversed.csv"
+        reversed_range.write_text("time,query_id,name,chunks,columns,cpu_per_chunk\n"
+                                  "1.0,0,q,0-2;9-7,,0.1\n")
+        with pytest.raises(ConfigurationError, match="reversed chunk range"):
+            replay_arrivals(str(reversed_range))
+        empty_chunks = tmp_path / "empty_chunks.csv"
+        empty_chunks.write_text("time,query_id,name,chunks,columns,cpu_per_chunk\n"
+                                "1.0,0,q,,,0.1\n")
+        # ScanRequest's own validation surfaces with the trace location too.
+        with pytest.raises(ConfigurationError, match="empty_chunks.csv:2"):
+            replay_arrivals(str(empty_chunks))
+
+    def test_write_rejects_unserialisable_specs(self, tmp_path, request_factory):
+        semicolon = [Arrival(time=0.0, spec=request_factory(0, [0], columns=("a;b",)))]
+        with pytest.raises(ConfigurationError, match="';'"):
+            write_arrival_trace(semicolon, str(tmp_path / "t.jsonl"))
+        nameless = [Arrival(time=0.0, spec=request_factory(0, [0], name=""))]
+        with pytest.raises(ConfigurationError, match="non-empty name"):
+            write_arrival_trace(nameless, str(tmp_path / "t.csv"))
+        not_json = tmp_path / "bad.jsonl"
+        not_json.write_text("{broken\n")
+        with pytest.raises(ConfigurationError):
+            replay_arrivals(str(not_json))
