@@ -1,24 +1,28 @@
 """The scatter-gather coordinator of the sharded cluster.
 
-One :class:`ClusterCoordinator` owns the cluster's front door: the external
-arrival sequence and a single :class:`AdmissionController` that caps the
-number of concurrently executing *whole* queries at the cluster MPL
-(``shards * mpl_per_shard``).  Each shard simulator sees the cluster through
-its own :class:`ShardSource` (a :class:`repro.sim.source.QuerySource`):
+One :class:`ClusterCoordinator` owns the cluster's front door — the same
+:class:`repro.service.frontdoor.FrontDoor` pipeline the single-simulator
+service runs (arrivals -> classification -> per-class admission ->
+completion/release), capping the number of concurrently executing *whole*
+queries at the cluster MPL (``shards * mpl_per_shard``, or whatever the
+adaptive controller currently allows).  Each shard simulator sees the
+cluster through its own :class:`ShardSource` (a
+:class:`repro.sim.source.QuerySource`):
 
-* **scatter** — when the front queue admits a query, the coordinator plans
+* **scatter** — when the front door admits a query, the coordinator plans
   it through the :class:`ShardMap` into shard-local sub-queries and hands
   each owning shard its piece (timestamped with the admission time, so a
   shard stepping later on the shared clock starts it at the right moment);
 * **gather** — a sub-query completion on any shard reports back through
   :meth:`ClusterCoordinator.complete_subquery`; the whole query completes
   when its *last* sub-query finishes, which is when its
-  :class:`ClusterQueryRecord` is written and its front-door MPL slot is
-  released (possibly admitting — and scattering — the next queued query).
+  :class:`ClusterQueryRecord` is written and its completion is fed to the
+  front door — releasing its MPL slot, updating the adaptive controller,
+  and possibly admitting (and scattering) the next queued queries.
 
 A 1-shard cluster degenerates to exactly the single-simulator open-system
 service (:func:`repro.service.run_service`): every query has one sub-query
-identical to itself, every completion releases the front queue immediately,
+identical to itself, every completion releases the front door immediately,
 and the pending buffers are always drained within the poll that filled
 them.  ``tests/test_cluster_equivalence.py`` pins this bit for bit.
 """
@@ -27,13 +31,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import ClusterConfig, SystemConfig
+from repro.common.config import ClusterConfig, DEFAULT_QUERY_CLASS, SystemConfig
 from repro.common.errors import SimulationError
 from repro.cluster.shardmap import ShardMap
-from repro.service.admission import AdmissionController, QueuedQuery
-from repro.service.arrivals import Arrival, offered_rate, validate_arrivals
+from repro.service.admission import (
+    AdmissionController,
+    QueuedQuery,
+    layout_aware_job_size,
+)
+from repro.service.arrivals import Arrival, offered_rate
+from repro.service.frontdoor import FrontDoor, MPLController
 from repro.service.slo import SLOReport, build_slo_report, merge_shard_slo_reports
 from repro.sim.lockstep import LockstepRunner
 from repro.sim.results import RunResult
@@ -62,6 +71,8 @@ class ClusterQueryRecord:
     #: Chunk loads attributed to the query, summed over its shards
     #: (filled in after the run from the per-shard results).
     loads_triggered: int = 0
+    #: Workload class the front door routed the query to.
+    query_class: str = DEFAULT_QUERY_CLASS
 
     @property
     def num_subqueries(self) -> int:
@@ -91,25 +102,31 @@ class _OpenQuery:
     submit_time: float
     admit_time: float
     name: str
+    query_class: str
     num_chunks: int
     shards: Tuple[int, ...]
     remaining: int
 
 
 class ClusterCoordinator:
-    """Front admission queue plus scatter/gather bookkeeping."""
+    """Scatter/gather bookkeeping around the shared front-door pipeline."""
 
     def __init__(
         self,
         arrivals: Sequence[Arrival],
         shard_map: ShardMap,
         admission: AdmissionController,
+        mpl_controller: Optional[MPLController] = None,
+        loads_probe: Optional[Callable[[int], int]] = None,
     ) -> None:
-        validate_arrivals(arrivals, "cluster workload")
-        self._arrivals = list(arrivals)
-        self._next = 0
+        self.frontdoor = FrontDoor(
+            arrivals,
+            admission,
+            mpl_controller=mpl_controller,
+            loads_probe=loads_probe,
+            where="cluster workload",
+        )
         self.shard_map = shard_map
-        self.admission = admission
         #: Sub-queries scattered to each shard but not yet polled by it,
         #: as ``(release_time, admitted)`` in release order.
         self._pending: List[Deque[Tuple[float, AdmittedQuery]]] = [
@@ -121,36 +138,31 @@ class ClusterCoordinator:
         #: Sub-queries scattered to each shard over the run.
         self.subqueries_scattered: List[int] = [0] * shard_map.num_shards
 
+    @property
+    def admission(self) -> AdmissionController:
+        """The front door's admission controller (counters, queues)."""
+        return self.frontdoor.admission
+
     # ------------------------------------------------------------ front door
     def next_arrival_time(self) -> Optional[float]:
         """Time of the next unconsumed external arrival."""
-        if self._next >= len(self._arrivals):
-            return None
-        return self._arrivals[self._next].time
+        return self.frontdoor.next_arrival_time()
 
     def pump(self, now: float) -> None:
-        """Consume external arrivals due by ``now`` through the front queue.
+        """Run the front door up to ``now``, scattering what it admits.
 
-        Admitted queries are scattered immediately (sub-queries land in the
-        owning shards' pending buffers, timestamped with the arrival time);
-        queued and shed arrivals are tracked by the admission controller.
-        Idempotent within one instant: every shard's poll calls this, the
-        first call does the work.
+        Admitted queries land in the owning shards' pending buffers
+        (timestamped ``now``); queued and shed arrivals are tracked by the
+        admission controller.  Idempotent within one instant: every shard's
+        poll calls this, the first call does the work.
         """
-        while (
-            self._next < len(self._arrivals)
-            and self._arrivals[self._next].time <= now + _EPS
-        ):
-            arrival = self._arrivals[self._next]
-            self._next += 1
-            entry = self.admission.offer(arrival.spec, arrival.time)
-            if entry is not None:
-                self._scatter(entry, now)
+        for entry in self.frontdoor.pump(now):
+            self._scatter(entry, now)
 
     def drained(self) -> bool:
         """``True`` once no future query can be admitted (arrivals exhausted
-        and the front queue empty)."""
-        return self._next >= len(self._arrivals) and not self.admission.has_queued()
+        and the front queues empty)."""
+        return self.frontdoor.drained()
 
     # --------------------------------------------------------------- scatter
     def _scatter(
@@ -172,6 +184,7 @@ class ClusterCoordinator:
             submit_time=entry.submit_time,
             admit_time=now,
             name=entry.spec.name,
+            query_class=entry.query_class,
             num_chunks=entry.spec.num_chunks,
             shards=tuple(plan),
             remaining=len(plan),
@@ -197,9 +210,9 @@ class ClusterCoordinator:
         """Record one sub-query completion on ``shard``.
 
         When it was the query's last sub-query the whole query completes:
-        its record is written and its front-door slot is released, which may
-        admit the next queued query — whose sub-query for this same shard
-        (if any) is returned for immediate start.
+        its record is written and its completion is fed to the front door,
+        which may admit the next queued queries — whose sub-queries for
+        this same shard (if any) are returned for immediate start.
         """
         open_query = self._open.get(query_id)
         if open_query is None:
@@ -223,15 +236,15 @@ class ClusterCoordinator:
                 finish_time=now,
                 num_chunks=open_query.num_chunks,
                 shards=open_query.shards,
+                query_class=open_query.query_class,
             )
         )
-        released = self.admission.release()
-        if released is None:
-            return []
-        direct = self._scatter(released, now, direct_shard=shard)
-        if direct is None:
-            return []
-        return [direct]
+        started: List[AdmittedQuery] = []
+        for entry in self.frontdoor.on_complete(query_id, now):
+            direct = self._scatter(entry, now, direct_shard=shard)
+            if direct is not None:
+                started.append(direct)
+        return started
 
     # ------------------------------------------------------------- per shard
     def take_pending(self, shard: int, now: float) -> List[AdmittedQuery]:
@@ -257,9 +270,8 @@ class ClusterCoordinator:
         """Flat description of the cluster front door (for reports)."""
         return {
             "workload": "sharded-cluster",
-            "num_arrivals": len(self._arrivals),
             **self.shard_map.describe(),
-            **self.admission.describe(),
+            **self.frontdoor.describe(),
         }
 
 
@@ -313,15 +325,23 @@ class ClusterResult:
     #: Per-shard SLO views of the same runs (sub-query latencies).
     shard_reports: List[SLOReport]
     #: The gathered cluster-level SLO report (whole-query latencies,
-    #: front-queue counters, utilisation over all shards' volumes).
+    #: front-queue counters, per-class slices, utilisation over all
+    #: shards' volumes).
     slo: SLOReport
     #: Gathered per-query outcomes, sorted by query id.
     records: List[ClusterQueryRecord] = field(default_factory=list)
+    #: ``(time, mpl)`` trajectory of the enforced cluster MPL limit.
+    mpl_timeline: Tuple[Tuple[float, int], ...] = ()
 
     @property
     def duration(self) -> float:
         """Cluster makespan: the slowest shard's total time."""
         return max((run.total_time for run in self.shard_runs), default=0.0)
+
+    @property
+    def final_mpl(self) -> int:
+        """The MPL in force when the run ended."""
+        return self.mpl_timeline[-1][1] if self.mpl_timeline else 0
 
 
 def run_cluster_service(
@@ -331,6 +351,7 @@ def run_cluster_service(
     cluster: ClusterConfig,
     num_chunks: Optional[int] = None,
     record_trace: bool = False,
+    mpl_controller: Optional[MPLController] = None,
 ) -> ClusterResult:
     """Serve one arrival sequence with a sharded scatter-gather cluster.
 
@@ -338,15 +359,30 @@ def run_cluster_service(
     modelling that shard's local table (``ShardMap.chunks_owned(shard)``
     chunks); ``config`` describes each shard's machine (disk volumes, CPU,
     buffer).  ``num_chunks`` is the global table size; by default it is the
-    sum of the shard tables, which is exact for both placements.
+    sum of the shard tables, which is exact for both placements.  The front
+    door (workload classes, job sizing, adaptive MPL) is configured exactly
+    like :func:`repro.service.run_service` configures its own.
     """
     abms = list(shard_abms)
     if num_chunks is None:
         num_chunks = sum(abm.num_chunks for abm in abms)
     shard_map = ShardMap.from_cluster_config(cluster, num_chunks)
     shard_map.validate_shard_tables(tuple(abm.num_chunks for abm in abms))
-    admission = AdmissionController(cluster.front_service())
-    coordinator = ClusterCoordinator(arrivals, shard_map, admission)
+    admission = AdmissionController(
+        cluster.front_service(),
+        job_size=layout_aware_job_size(
+            getattr(abms[0], "layout", None) if abms else None
+        ),
+    )
+    coordinator = ClusterCoordinator(
+        arrivals,
+        shard_map,
+        admission,
+        mpl_controller=mpl_controller,
+        loads_probe=lambda query_id: sum(
+            abm.loads_triggered.get(query_id, 0) for abm in abms
+        ),
+    )
     simulators = [
         ScanSimulator(
             ShardSource(coordinator, shard), config, abm, record_trace=record_trace
@@ -387,6 +423,7 @@ def run_cluster_service(
         shed=admission.shed_count,
         max_queue_len=admission.max_queue_len,
         offered_rate_qps=rate,
+        classes=coordinator.frontdoor.class_reports(),
     )
     return ClusterResult(
         policy=slo.policy,
@@ -396,6 +433,7 @@ def run_cluster_service(
         shard_reports=shard_reports,
         slo=slo,
         records=records,
+        mpl_timeline=tuple(coordinator.frontdoor.mpl_timeline),
     )
 
 

@@ -35,6 +35,10 @@ from repro.common.config import (
     SystemConfig,
     ServiceConfig,
     ClusterConfig,
+    WorkloadClassConfig,
+    AdaptiveMPLConfig,
+    DEFAULT_QUERY_CLASS,
+    canonical_discipline,
     ADMISSION_DISCIPLINES,
     VOLUME_PLACEMENTS,
     PAPER_NSM_SYSTEM,
@@ -63,6 +67,10 @@ __all__ = [
     "SystemConfig",
     "ServiceConfig",
     "ClusterConfig",
+    "WorkloadClassConfig",
+    "AdaptiveMPLConfig",
+    "DEFAULT_QUERY_CLASS",
+    "canonical_discipline",
     "ADMISSION_DISCIPLINES",
     "VOLUME_PLACEMENTS",
     "PAPER_NSM_SYSTEM",

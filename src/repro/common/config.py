@@ -10,7 +10,7 @@ tests use smaller configurations for speed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.units import MB
@@ -198,8 +198,190 @@ class SystemConfig:
         }
 
 
-#: Admission-queue disciplines understood by the service layer.
-ADMISSION_DISCIPLINES = ("fifo", "priority")
+#: Admission-queue disciplines understood by the service layer.  ``"sjf"``
+#: (shortest job first) used to be called ``"priority"``; the old name is
+#: kept as a deprecated alias so existing configs and traces keep working,
+#: but it no longer denotes the per-class priority concept (see
+#: :class:`WorkloadClassConfig` for that).
+ADMISSION_DISCIPLINES = ("fifo", "sjf", "priority")
+
+#: Deprecated discipline names and their canonical replacements.
+DEPRECATED_DISCIPLINES = {"priority": "sjf"}
+
+#: Workload class assigned to queries that do not declare one.
+DEFAULT_QUERY_CLASS = "default"
+
+#: Sentinel for per-class settings that inherit the service-level value.
+#: Compared by equality, so the string ``"inherit"`` from a parsed config
+#: file works the same as the module constant.
+INHERIT = "inherit"
+
+
+def _inherits(value: object) -> bool:
+    """Whether a per-class setting defers to the service-level value."""
+    return isinstance(value, str) and value == INHERIT
+
+
+def canonical_discipline(discipline: str) -> str:
+    """Resolve deprecated discipline aliases (``"priority"`` -> ``"sjf"``)."""
+    return DEPRECATED_DISCIPLINES.get(discipline, discipline)
+
+
+def _validate_discipline(discipline: str, where: str) -> None:
+    if discipline not in ADMISSION_DISCIPLINES:
+        raise ConfigurationError(
+            f"unknown admission discipline {discipline!r} for {where}; "
+            f"expected one of {ADMISSION_DISCIPLINES}"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadClassConfig:
+    """One workload class at the service front door (e.g. interactive/batch).
+
+    Classes separate traffic with different latency expectations over the
+    *same* ABM: each class has its own admission queue, and the admission
+    scheduler shares the multiprogramming level between the non-empty queues
+    in proportion to their ``weight`` (work-conserving: spare capacity is
+    handed to whichever class is waiting).
+
+    Attributes
+    ----------
+    name:
+        Class label, matched against :attr:`repro.core.ScanRequest.query_class`.
+    weight:
+        MPL share of the class.  When several classes have queued queries,
+        freed slots go to the class with the smallest ``active / weight``
+        ratio (ties break in configured class order), so a class with twice
+        the weight converges to twice the executing queries under contention.
+    queue_capacity:
+        Bound on this class's admission queue (``None`` = unbounded,
+        ``0`` = shed every arrival that cannot start immediately).  Defaults
+        to the service-level ``queue_capacity``.
+    discipline:
+        Order within this class's queue: ``"fifo"`` or ``"sjf"`` (smallest
+        job first).  Defaults to the service-level ``discipline``.
+    """
+
+    name: str
+    weight: float = 1.0
+    queue_capacity: object = INHERIT
+    discipline: str = INHERIT
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("workload class needs a name")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"workload class {self.name!r} weight must be positive, "
+                f"got {self.weight}"
+            )
+        if not _inherits(self.queue_capacity):
+            if self.queue_capacity is not None and (
+                not isinstance(self.queue_capacity, int) or self.queue_capacity < 0
+            ):
+                raise ConfigurationError(
+                    f"workload class {self.name!r} queue_capacity must be "
+                    ">= 0, None or INHERIT"
+                )
+        if not _inherits(self.discipline):
+            _validate_discipline(self.discipline, f"workload class {self.name!r}")
+            object.__setattr__(
+                self, "discipline", canonical_discipline(self.discipline)
+            )
+
+    def resolve(
+        self, queue_capacity: Optional[int], discipline: str
+    ) -> "WorkloadClassConfig":
+        """Fill inherited settings from the service-level defaults."""
+        resolved_capacity = (
+            queue_capacity if _inherits(self.queue_capacity) else self.queue_capacity
+        )
+        resolved_discipline = (
+            discipline if _inherits(self.discipline) else self.discipline
+        )
+        return WorkloadClassConfig(
+            name=self.name,
+            weight=self.weight,
+            queue_capacity=resolved_capacity,
+            discipline=resolved_discipline,
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the class (for reports)."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "queue_capacity": (
+                "inherit"
+                if _inherits(self.queue_capacity)
+                else "unbounded"
+                if self.queue_capacity is None
+                else self.queue_capacity
+            ),
+            "discipline": self.discipline,
+        }
+
+
+@dataclass(frozen=True)
+class AdaptiveMPLConfig:
+    """Parameters of the adaptive (AIMD) multiprogramming-level controller.
+
+    The controller tunes the admission MPL between ``min_mpl`` and
+    ``max_mpl`` from two observed signals: the p95 end-to-end latency over a
+    sliding window of completions, and the ABM's buffer-hit rate (the
+    fraction of consumed chunks served without triggering a load — the
+    sharing dividend).  The AIMD reaction is asymmetric, like TCP's:
+
+    * p95 above ``target_p95_s`` (checked on every completion) —
+      multiplicative decrease
+      (``mpl = max(min_mpl, floor(mpl * decrease_factor))``), shrinking the
+      concurrent set so the relevance policy can restore sharing;
+    * p95 within target (probed every ``adjust_every``-th completion) and
+      hit rate at or above ``hit_rate_floor`` — additive increase
+      (``mpl + increase_step``), converting spare latency headroom into
+      throughput.
+    """
+
+    target_p95_s: float
+    min_mpl: int = 1
+    max_mpl: int = 64
+    increase_step: int = 1
+    decrease_factor: float = 0.5
+    adjust_every: int = 4
+    window: int = 32
+    hit_rate_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.target_p95_s <= 0:
+            raise ConfigurationError("target_p95_s must be positive")
+        if self.min_mpl < 1:
+            raise ConfigurationError("min_mpl must be >= 1")
+        if self.max_mpl < self.min_mpl:
+            raise ConfigurationError("max_mpl must be >= min_mpl")
+        if self.increase_step < 1:
+            raise ConfigurationError("increase_step must be >= 1")
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ConfigurationError("decrease_factor must be in (0, 1)")
+        if self.adjust_every < 1:
+            raise ConfigurationError("adjust_every must be >= 1")
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if not 0.0 <= self.hit_rate_floor <= 1.0:
+            raise ConfigurationError("hit_rate_floor must be in [0, 1]")
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the controller (for reports)."""
+        return {
+            "target_p95_s": self.target_p95_s,
+            "min_mpl": self.min_mpl,
+            "max_mpl": self.max_mpl,
+            "increase_step": self.increase_step,
+            "decrease_factor": self.decrease_factor,
+            "adjust_every": self.adjust_every,
+            "window": self.window,
+            "hit_rate_floor": self.hit_rate_floor,
+        }
 
 
 @dataclass(frozen=True)
@@ -221,34 +403,78 @@ class ServiceConfig:
         cannot start immediately (pure loss system).
     discipline:
         Order in which queued queries are admitted: ``"fifo"`` (arrival
-        order) or ``"priority"`` (cheapest scan first, FIFO tie-break —
-        a deterministic shortest-job-first).
+        order) or ``"sjf"`` (cheapest scan first, FIFO tie-break — a
+        deterministic shortest-job-first; ``"priority"`` is a deprecated
+        alias).
+    classes:
+        Workload classes served by the front door (e.g. interactive vs
+        batch).  Empty means one implicit class covering all traffic, which
+        behaves exactly like the historical single-queue service.  When
+        non-empty, arrivals are routed to their class's queue by
+        ``ScanRequest.query_class`` (unknown classes fall into the first
+        configured class) and freed MPL slots are shared by class weight.
+    adaptive:
+        Optional :class:`AdaptiveMPLConfig`.  When set, the admission MPL is
+        tuned at run time by an AIMD controller instead of staying pinned at
+        ``max_concurrent`` (which then only sets the starting MPL).
     """
 
     max_concurrent: int = 8
     queue_capacity: Optional[int] = None
     discipline: str = "fifo"
+    classes: Tuple[WorkloadClassConfig, ...] = ()
+    adaptive: Optional[AdaptiveMPLConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
             raise ConfigurationError("max_concurrent must be >= 1")
         if self.queue_capacity is not None and self.queue_capacity < 0:
             raise ConfigurationError("queue_capacity must be >= 0 or None")
-        if self.discipline not in ADMISSION_DISCIPLINES:
-            raise ConfigurationError(
-                f"unknown admission discipline {self.discipline!r}; "
-                f"expected one of {ADMISSION_DISCIPLINES}"
+        _validate_discipline(self.discipline, "service")
+        object.__setattr__(self, "discipline", canonical_discipline(self.discipline))
+        object.__setattr__(self, "classes", tuple(self.classes))
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate workload class names in {names}")
+
+    def resolved_classes(self) -> Tuple[WorkloadClassConfig, ...]:
+        """The effective workload classes, inherited settings filled in.
+
+        An empty ``classes`` tuple resolves to one implicit
+        :data:`DEFAULT_QUERY_CLASS` class carrying the service-level queue
+        settings — the single-queue behaviour every pre-class config had.
+        """
+        if not self.classes:
+            return (
+                WorkloadClassConfig(
+                    name=DEFAULT_QUERY_CLASS,
+                    weight=1.0,
+                    queue_capacity=self.queue_capacity,
+                    discipline=self.discipline,
+                ),
             )
+        return tuple(
+            cls.resolve(self.queue_capacity, self.discipline)
+            for cls in self.classes
+        )
 
     def describe(self) -> Dict[str, Any]:
         """Return a flat dictionary describing the service (for reports)."""
-        return {
+        described: Dict[str, Any] = {
             "max_concurrent": self.max_concurrent,
             "queue_capacity": (
                 "unbounded" if self.queue_capacity is None else self.queue_capacity
             ),
             "discipline": self.discipline,
         }
+        if self.classes:
+            described["classes"] = ",".join(
+                f"{cls.name}:{cls.weight:g}" for cls in self.classes
+            )
+        if self.adaptive is not None:
+            described["adaptive_mpl"] = True
+            described["adaptive_target_p95_s"] = self.adaptive.target_p95_s
+        return described
 
 
 @dataclass(frozen=True)
@@ -276,7 +502,14 @@ class ClusterConfig:
         Bound on the front admission queue (``None`` = unbounded,
         ``0`` = pure loss system), as in :class:`ServiceConfig`.
     discipline:
-        Front-queue admission order: ``"fifo"`` or ``"priority"``.
+        Front-queue admission order: ``"fifo"`` or ``"sjf"``
+        (``"priority"`` is a deprecated alias).
+    classes:
+        Workload classes at the cluster front door, exactly as in
+        :class:`ServiceConfig.classes`.
+    adaptive:
+        Optional :class:`AdaptiveMPLConfig` tuning the cluster-wide MPL at
+        run time (``cluster_mpl`` then only sets the starting MPL).
     """
 
     shards: int = 1
@@ -284,6 +517,8 @@ class ClusterConfig:
     mpl_per_shard: int = 8
     queue_capacity: Optional[int] = None
     discipline: str = "fifo"
+    classes: Tuple[WorkloadClassConfig, ...] = ()
+    adaptive: Optional[AdaptiveMPLConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -299,11 +534,12 @@ class ClusterConfig:
             )
         if self.queue_capacity is not None and self.queue_capacity < 0:
             raise ConfigurationError("queue_capacity must be >= 0 or None")
-        if self.discipline not in ADMISSION_DISCIPLINES:
-            raise ConfigurationError(
-                f"unknown admission discipline {self.discipline!r}; "
-                f"expected one of {ADMISSION_DISCIPLINES}"
-            )
+        _validate_discipline(self.discipline, "cluster front queue")
+        object.__setattr__(self, "discipline", canonical_discipline(self.discipline))
+        object.__setattr__(self, "classes", tuple(self.classes))
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate workload class names in {names}")
 
     @property
     def cluster_mpl(self) -> int:
@@ -320,6 +556,8 @@ class ClusterConfig:
             max_concurrent=self.cluster_mpl,
             queue_capacity=self.queue_capacity,
             discipline=self.discipline,
+            classes=self.classes,
+            adaptive=self.adaptive,
         )
 
     def with_shards(self, shards: int) -> "ClusterConfig":
@@ -328,7 +566,7 @@ class ClusterConfig:
 
     def describe(self) -> Dict[str, Any]:
         """Return a flat dictionary describing the cluster (for reports)."""
-        return {
+        described: Dict[str, Any] = {
             "shards": self.shards,
             "shard_placement": self.placement,
             "mpl_per_shard": self.mpl_per_shard,
@@ -338,6 +576,14 @@ class ClusterConfig:
             ),
             "discipline": self.discipline,
         }
+        if self.classes:
+            described["classes"] = ",".join(
+                f"{cls.name}:{cls.weight:g}" for cls in self.classes
+            )
+        if self.adaptive is not None:
+            described["adaptive_mpl"] = True
+            described["adaptive_target_p95_s"] = self.adaptive.target_p95_s
+        return described
 
 
 #: The row-store (NSM/PAX) configuration of Section 5.1: 16 MB chunks,

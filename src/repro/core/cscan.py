@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.common.config import DEFAULT_QUERY_CLASS
 from repro.common.errors import SchedulingError
 
 
@@ -36,6 +37,11 @@ class ScanRequest:
     cpu_per_chunk:
         Simulated CPU seconds needed to process one chunk of data once it is
         in the buffer (FAST vs SLOW queries differ here).
+    query_class:
+        Workload class the query belongs to (e.g. ``"interactive"`` /
+        ``"batch"``), consulted by the service front door for per-class
+        admission and by the relevance policies for per-class priorities.
+        Defaults to the catch-all :data:`repro.common.config.DEFAULT_QUERY_CLASS`.
     """
 
     query_id: int
@@ -43,6 +49,7 @@ class ScanRequest:
     chunks: Tuple[int, ...]
     columns: Tuple[str, ...] = ()
     cpu_per_chunk: float = 0.0
+    query_class: str = DEFAULT_QUERY_CLASS
 
     def __post_init__(self) -> None:
         if not self.chunks:
@@ -53,6 +60,8 @@ class ScanRequest:
             raise SchedulingError(f"query {self.name!r} chunks must be sorted")
         if any(chunk < 0 for chunk in self.chunks):
             raise SchedulingError(f"query {self.name!r} has negative chunk ids")
+        if not self.query_class:
+            raise SchedulingError(f"query {self.name!r} has an empty query class")
         if len(set(self.columns)) != len(self.columns):
             raise SchedulingError(f"query {self.name!r} lists duplicate columns")
         if self.cpu_per_chunk < 0:
@@ -71,6 +80,7 @@ class ScanRequest:
         ranges: Sequence[Tuple[int, int]],
         columns: Sequence[str] = (),
         cpu_per_chunk: float = 0.0,
+        query_class: str = DEFAULT_QUERY_CLASS,
     ) -> "ScanRequest":
         """Build a request from inclusive chunk ranges (zone-map style plans)."""
         chunks: List[int] = []
@@ -85,6 +95,7 @@ class ScanRequest:
             chunks=unique_sorted,
             columns=tuple(columns),
             cpu_per_chunk=cpu_per_chunk,
+            query_class=query_class,
         )
 
 
@@ -96,6 +107,7 @@ class CScanHandle:
         self.query_id = request.query_id
         self.name = request.name
         self.columns: Tuple[str, ...] = request.columns
+        self.query_class = request.query_class
         self.arrival_time = now
         #: Chunks not yet *finished* (the chunk currently being consumed stays
         #: in this set until consumption completes, matching the paper's

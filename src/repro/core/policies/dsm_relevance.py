@@ -55,14 +55,24 @@ class DSMRelevancePolicy(DSMSchedulingPolicy):
         )
 
     def query_relevance(self, handle: CScanHandle, now: float) -> float:
-        """Same shape as the NSM ``queryRelevance`` (Figure 3)."""
+        """Same shape as the NSM ``queryRelevance`` (Figure 3), including
+        the per-class starvation weights and priority boosts (neutral for
+        classes absent from the parameter tables)."""
         if not self.query_starved(handle):
             return -math.inf
+        parameters = self.parameters
         score = 0.0
-        if self.parameters.prioritise_short_queries:
+        if parameters.prioritise_short_queries:
             score -= handle.chunks_needed
-        if self.parameters.age_by_waiting_time:
-            score += handle.waiting_time(now) / max(1, self.abm.num_active())
+        if parameters.age_by_waiting_time:
+            ageing = handle.waiting_time(now) / max(1, self.abm.num_active())
+            weight = parameters.starvation_weight_of(handle.query_class)
+            if weight != 1.0:
+                ageing *= weight
+            score += ageing
+        boost = parameters.priority_of(handle.query_class)
+        if boost != 0.0:
+            score += boost
         return score
 
     # ------------------------------------------------- relevance functions

@@ -33,17 +33,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.cscan import CScanHandle
 from repro.core.policies.base import SchedulingPolicy
+
+#: Per-class weight tables accepted by :class:`RelevanceParameters` — either
+#: a mapping or an already-normalised tuple of ``(class, value)`` pairs.
+ClassWeights = Union[Mapping[str, float], Tuple[Tuple[str, float], ...]]
 
 
 @dataclass(frozen=True)
 class RelevanceParameters:
     """Tunable constants of the relevance policy.
 
-    The defaults follow the paper; the ablation benchmarks override them.
+    The defaults follow the paper; the ablation benchmarks override them,
+    and the service layer's workload classes plug in per-class weights.
     """
 
     #: A query is starved when it has fewer than this many available chunks.
@@ -59,6 +64,17 @@ class RelevanceParameters:
     prioritise_short_queries: bool = True
     #: Whether waiting time ages a starved query's priority (paper: yes).
     age_by_waiting_time: bool = True
+    #: Additive ``queryRelevance`` boost per workload class (in units of
+    #: chunks-needed, the score's natural scale): starved queries of a
+    #: boosted class (e.g. ``{"interactive": 64.0}``) are scheduled ahead of
+    #: same-aged queries of unboosted classes.  Classes absent from the
+    #: table get 0.0, so the empty default changes nothing.
+    class_priority: ClassWeights = ()
+    #: Multiplier on the waiting-time ageing term per workload class (the
+    #: per-class *starvation weight*): a class with weight > 1 escalates
+    #: out of starvation faster, < 1 tolerates waiting longer.  Classes
+    #: absent from the table get 1.0, so the empty default changes nothing.
+    class_starvation_weight: ClassWeights = ()
 
     def __post_init__(self) -> None:
         if self.starvation_threshold < 1:
@@ -69,6 +85,41 @@ class RelevanceParameters:
             )
         if self.qmax < 2:
             raise ValueError("qmax must be >= 2")
+        object.__setattr__(
+            self, "class_priority", _normalise_weights(self.class_priority)
+        )
+        object.__setattr__(
+            self,
+            "class_starvation_weight",
+            _normalise_weights(self.class_starvation_weight),
+        )
+        for _, weight in self.class_starvation_weight:
+            if weight <= 0:
+                raise ValueError("class starvation weights must be positive")
+
+    def priority_of(self, query_class: str) -> float:
+        """The class's additive ``queryRelevance`` boost (default 0.0)."""
+        for name, value in self.class_priority:
+            if name == query_class:
+                return value
+        return 0.0
+
+    def starvation_weight_of(self, query_class: str) -> float:
+        """The class's ageing-term multiplier (default 1.0)."""
+        for name, value in self.class_starvation_weight:
+            if name == query_class:
+                return value
+        return 1.0
+
+
+def _normalise_weights(weights: ClassWeights) -> Tuple[Tuple[str, float], ...]:
+    """Normalise a mapping (or pair tuple) into a sorted pair tuple, so the
+    frozen dataclass stays hashable and order-insensitively comparable."""
+    if isinstance(weights, Mapping):
+        items = weights.items()
+    else:
+        items = tuple(weights)
+    return tuple(sorted((str(name), float(value)) for name, value in items))
 
 
 class RelevancePolicy(SchedulingPolicy):
@@ -98,14 +149,29 @@ class RelevancePolicy(SchedulingPolicy):
 
     # ------------------------------------------------- relevance functions
     def query_relevance(self, handle: CScanHandle, now: float) -> float:
-        """``queryRelevance``: priority of scheduling a load for this query."""
+        """``queryRelevance``: priority of scheduling a load for this query.
+
+        The per-class tables of :class:`RelevanceParameters` weigh in here:
+        the ageing term is scaled by the class's starvation weight and the
+        class's priority boost is added on top — both neutral (x1.0 / +0.0)
+        for classes absent from the tables, so single-class runs score
+        exactly as the paper's Figure 3.
+        """
         if not self.query_starved(handle):
             return -math.inf
+        parameters = self.parameters
         score = 0.0
-        if self.parameters.prioritise_short_queries:
+        if parameters.prioritise_short_queries:
             score -= handle.chunks_needed
-        if self.parameters.age_by_waiting_time:
-            score += handle.waiting_time(now) / max(1, self.abm.num_active())
+        if parameters.age_by_waiting_time:
+            ageing = handle.waiting_time(now) / max(1, self.abm.num_active())
+            weight = parameters.starvation_weight_of(handle.query_class)
+            if weight != 1.0:
+                ageing *= weight
+            score += ageing
+        boost = parameters.priority_of(handle.query_class)
+        if boost != 0.0:
+            score += boost
         return score
 
     def use_relevance(self, chunk: int) -> float:

@@ -7,17 +7,23 @@ back-to-back queries).  This package models the same ABM and policies as a
 * :mod:`repro.service.arrivals` -- Poisson and bursty ON/OFF arrival
   generators producing timestamped query arrivals from query templates,
   plus trace replay (CSV/JSONL query logs in, the same SLO reports out);
-* :mod:`repro.service.admission` -- a bounded admission queue that caps the
-  multiprogramming level (MPL) and sheds overload (FIFO or
-  shortest-job-first);
+* :mod:`repro.service.admission` -- the weighted multi-queue admission
+  scheduler: one bounded queue per workload class (FIFO or
+  shortest-job-first), sharing the multiprogramming level (MPL) by class
+  weight and shedding overload per class;
+* :mod:`repro.service.frontdoor` -- the shared front-door pipeline
+  (arrivals -> classification -> per-class admission -> completion/release)
+  used identically by the single-simulator service and the sharded
+  cluster, plus the swappable MPL controllers (static and adaptive AIMD);
 * :mod:`repro.service.server` -- the :class:`OpenSystemSource` query source
   driving the simulator, plus :func:`run_service` /
   :func:`compare_service_policies` entry points;
 * :mod:`repro.service.slo` -- per-query queue-wait and end-to-end latency,
-  p50/p95/p99 percentiles, throughput and shed rate, rendered per policy.
+  p50/p95/p99 percentiles, throughput and shed rate, rendered per policy
+  and per workload class.
 
-Everything is deterministic given a seed: the same arrivals, admissions and
-SLO report reproduce exactly.
+Everything is deterministic given a seed: the same arrivals, admissions,
+MPL trajectory and SLO report reproduce exactly.
 """
 
 from repro.service.arrivals import (
@@ -29,7 +35,19 @@ from repro.service.arrivals import (
     validate_arrivals,
     write_arrival_trace,
 )
-from repro.service.admission import AdmissionController, QueuedQuery
+from repro.service.admission import (
+    AdmissionController,
+    QueuedQuery,
+    default_job_size,
+    layout_aware_job_size,
+)
+from repro.service.frontdoor import (
+    AdaptiveMPLController,
+    CompletionSample,
+    FrontDoor,
+    MPLController,
+    StaticMPLController,
+)
 from repro.service.server import (
     OpenSystemSource,
     ServiceResult,
@@ -37,9 +55,11 @@ from repro.service.server import (
     compare_service_policies,
 )
 from repro.service.slo import (
+    ClassSLO,
     SLOReport,
     build_slo_report,
     merge_shard_slo_reports,
+    render_class_slo_table,
     render_slo_table,
     render_volume_utilisation,
 )
@@ -54,13 +74,22 @@ __all__ = [
     "write_arrival_trace",
     "AdmissionController",
     "QueuedQuery",
+    "default_job_size",
+    "layout_aware_job_size",
+    "FrontDoor",
+    "CompletionSample",
+    "MPLController",
+    "StaticMPLController",
+    "AdaptiveMPLController",
     "OpenSystemSource",
     "ServiceResult",
     "run_service",
     "compare_service_policies",
+    "ClassSLO",
     "SLOReport",
     "build_slo_report",
     "merge_shard_slo_reports",
+    "render_class_slo_table",
     "render_slo_table",
     "render_volume_utilisation",
 ]

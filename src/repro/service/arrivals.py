@@ -33,6 +33,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.config import DEFAULT_QUERY_CLASS
 from repro.common.errors import ConfigurationError, SchedulingError
 from repro.common.rng import make_rng
 from repro.core.cscan import ScanRequest
@@ -160,8 +161,13 @@ def onoff_arrivals(
 
 
 # --------------------------------------------------------------- trace replay
-#: CSV header of an arrival trace (one row per arrival).
-_TRACE_FIELDS = ("time", "query_id", "name", "chunks", "columns", "cpu_per_chunk")
+#: CSV header of an arrival trace (one row per arrival).  ``query_class``
+#: is optional on read (traces written before workload classes existed
+#: replay into the default class).
+_TRACE_FIELDS = (
+    "time", "query_id", "name", "chunks", "columns", "cpu_per_chunk",
+    "query_class",
+)
 
 
 def _chunk_runs(chunks: Sequence[int]) -> List[Tuple[int, int]]:
@@ -256,6 +262,7 @@ def _record_to_arrival(record: Dict[str, object], where: str) -> Arrival:
         cpu_per_chunk = float(record.get("cpu_per_chunk", 0.0) or 0.0)
     except (TypeError, ValueError):
         raise ConfigurationError(f"{where}: 'cpu_per_chunk' must be a number")
+    query_class = str(record.get("query_class") or DEFAULT_QUERY_CLASS)
     try:
         spec = ScanRequest(
             query_id=query_id,
@@ -263,6 +270,7 @@ def _record_to_arrival(record: Dict[str, object], where: str) -> Arrival:
             chunks=tuple(sorted(set(chunks))),
             columns=columns,
             cpu_per_chunk=cpu_per_chunk,
+            query_class=query_class,
         )
     except SchedulingError as error:
         # ScanRequest's own validation (empty/negative chunk sets, ...)
@@ -311,6 +319,7 @@ def write_arrival_trace(arrivals: Sequence[Arrival], path: str) -> str:
                         _encode_chunks(spec.chunks),
                         ";".join(spec.columns),
                         repr(spec.cpu_per_chunk),
+                        spec.query_class,
                     ]
                 )
         else:
@@ -325,6 +334,7 @@ def write_arrival_trace(arrivals: Sequence[Arrival], path: str) -> str:
                             "chunks": _encode_chunks(spec.chunks),
                             "columns": list(spec.columns),
                             "cpu_per_chunk": spec.cpu_per_chunk,
+                            "query_class": spec.query_class,
                         },
                         sort_keys=True,
                     )

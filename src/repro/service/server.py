@@ -1,94 +1,86 @@
 """The open-system service loop.
 
-:class:`OpenSystemSource` adapts a timestamped arrival sequence plus an
-:class:`repro.service.admission.AdmissionController` to the simulator's
+:class:`OpenSystemSource` adapts the shared front-door pipeline
+(:class:`repro.service.frontdoor.FrontDoor`: arrivals -> classification ->
+per-class admission -> completion/release) to the simulator's
 :class:`repro.sim.source.QuerySource` interface: queries register with the
-ABM at their *admitted* time (not at a stream position), wait in the
-admission queue while the multiprogramming level is saturated, and release
-the head of the queue when they complete.
+ABM at their *admitted* time (not at a stream position), wait in their
+class's admission queue while the multiprogramming level is saturated, and
+release capacity when they complete.  The sharded cluster front door
+(:mod:`repro.cluster.coordinator`) drives the very same pipeline — the
+only difference is that it scatters each admitted query across shards.
 
 :func:`run_service` wires the pieces together for one policy and returns
-the raw :class:`RunResult` alongside the :class:`SLOReport`;
-:func:`compare_service_policies` repeats the identical arrival sequence
-under several scheduling policies, which is the open-system analogue of
-:func:`repro.sim.sweeps.compare_policies`.
+the raw :class:`RunResult` alongside the :class:`SLOReport` (including the
+per-class slices and the MPL trajectory when the adaptive controller is
+active); :func:`compare_service_policies` repeats the identical arrival
+sequence under several scheduling policies, which is the open-system
+analogue of :func:`repro.sim.sweeps.compare_policies`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import ServiceConfig, SystemConfig
-from repro.service.admission import AdmissionController
-from repro.service.arrivals import Arrival, offered_rate, validate_arrivals
+from repro.service.admission import AdmissionController, layout_aware_job_size
+from repro.service.arrivals import Arrival, offered_rate
+from repro.service.frontdoor import FrontDoor, MPLController
 from repro.service.slo import SLOReport, build_slo_report
 from repro.sim.results import RunResult
 from repro.sim.runner import AnyABM, run_simulation
 from repro.sim.source import NO_STREAM, AdmittedQuery, QuerySource
 
-_EPS = 1e-9
-
 
 class OpenSystemSource(QuerySource):
-    """Feeds timestamped arrivals through admission control into the runner."""
+    """Feeds the shared front-door pipeline into one simulator."""
 
     def __init__(
         self,
         arrivals: Sequence[Arrival],
         admission: AdmissionController,
+        mpl_controller: Optional[MPLController] = None,
+        loads_probe: Optional[Callable[[int], int]] = None,
     ) -> None:
-        validate_arrivals(arrivals, "service workload")
-        self._arrivals = list(arrivals)
-        self._next = 0
-        self.admission = admission
+        self.frontdoor = FrontDoor(
+            arrivals,
+            admission,
+            mpl_controller=mpl_controller,
+            loads_probe=loads_probe,
+        )
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The front door's admission controller (counters, queues)."""
+        return self.frontdoor.admission
 
     # ------------------------------------------------------------- interface
     def next_event_time(self) -> Optional[float]:
-        if self._next >= len(self._arrivals):
-            return None
-        return self._arrivals[self._next].time
+        return self.frontdoor.next_arrival_time()
 
     def poll(self, now: float) -> List[AdmittedQuery]:
-        admitted: List[AdmittedQuery] = []
-        while (
-            self._next < len(self._arrivals)
-            and self._arrivals[self._next].time <= now + _EPS
-        ):
-            arrival = self._arrivals[self._next]
-            self._next += 1
-            entry = self.admission.offer(arrival.spec, arrival.time)
-            if entry is not None:
-                admitted.append(
-                    AdmittedQuery(
-                        spec=entry.spec,
-                        stream=NO_STREAM,
-                        submit_time=entry.submit_time,
-                    )
-                )
-        return admitted
+        return [self._admitted(entry) for entry in self.frontdoor.pump(now)]
 
     def on_complete(self, query_id: int, now: float) -> List[AdmittedQuery]:
-        entry = self.admission.release()
-        if entry is None:
-            return []
         return [
-            AdmittedQuery(
-                spec=entry.spec,
-                stream=NO_STREAM,
-                submit_time=entry.submit_time,
-            )
+            self._admitted(entry)
+            for entry in self.frontdoor.on_complete(query_id, now)
         ]
 
     def drained(self) -> bool:
-        return self._next >= len(self._arrivals) and not self.admission.has_queued()
+        return self.frontdoor.drained()
 
     def describe(self) -> Dict[str, object]:
-        return {
-            "workload": "open-system",
-            "num_arrivals": len(self._arrivals),
-            **self.admission.describe(),
-        }
+        return {"workload": "open-system", **self.frontdoor.describe()}
+
+    @staticmethod
+    def _admitted(entry) -> AdmittedQuery:
+        return AdmittedQuery(
+            spec=entry.spec,
+            stream=NO_STREAM,
+            submit_time=entry.submit_time,
+        )
 
 
 @dataclass
@@ -98,6 +90,15 @@ class ServiceResult:
     run: RunResult
     slo: SLOReport
     service: ServiceConfig
+    #: ``(time, mpl)`` trajectory of the enforced MPL limit — a single
+    #: entry at time 0 for the static controller, one more entry per
+    #: adjustment the adaptive controller made.
+    mpl_timeline: Tuple[Tuple[float, int], ...] = field(default_factory=tuple)
+
+    @property
+    def final_mpl(self) -> int:
+        """The MPL in force when the run ended."""
+        return self.mpl_timeline[-1][1] if self.mpl_timeline else 0
 
 
 def run_service(
@@ -106,10 +107,25 @@ def run_service(
     abm: AnyABM,
     service: ServiceConfig,
     record_trace: bool = False,
+    mpl_controller: Optional[MPLController] = None,
 ) -> ServiceResult:
-    """Run one arrival sequence through admission control against one ABM."""
-    admission = AdmissionController(service)
-    source = OpenSystemSource(arrivals, admission)
+    """Run one arrival sequence through the front door against one ABM.
+
+    The admission queues rank shortest-job-first entries with a job size
+    that is layout-aware when the ABM exposes its table layout (DSM scans
+    weight chunks by the pages of their requested columns); the MPL is
+    governed by ``service.adaptive`` (or an explicitly passed controller),
+    falling back to the static ``max_concurrent`` limit.
+    """
+    admission = AdmissionController(
+        service, job_size=layout_aware_job_size(getattr(abm, "layout", None))
+    )
+    source = OpenSystemSource(
+        arrivals,
+        admission,
+        mpl_controller=mpl_controller,
+        loads_probe=lambda query_id: abm.loads_triggered.get(query_id, 0),
+    )
     run = run_simulation(source, config, abm, record_trace=record_trace)
     slo = build_slo_report(
         run,
@@ -118,8 +134,14 @@ def run_service(
         max_queue_len=admission.max_queue_len,
         offered_rate_qps=offered_rate(arrivals),
         admitted=admission.admitted,
+        classes=source.frontdoor.class_reports(),
     )
-    return ServiceResult(run=run, slo=slo, service=service)
+    return ServiceResult(
+        run=run,
+        slo=slo,
+        service=service,
+        mpl_timeline=tuple(source.frontdoor.mpl_timeline),
+    )
 
 
 def compare_service_policies(

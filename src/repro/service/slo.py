@@ -26,6 +26,53 @@ from repro.sim.results import RunResult
 
 
 @dataclass(frozen=True)
+class ClassSLO:
+    """Per-workload-class slice of a service run's SLO metrics.
+
+    Built by the front door (:meth:`repro.service.frontdoor.FrontDoor.
+    class_reports`) from the class's completed queries and its admission
+    queue counters, so interactive vs batch latency — and who got shed
+    under overload — is visible per class instead of being averaged away.
+    """
+
+    query_class: str
+    weight: float
+    offered: int
+    admitted: int
+    completed: int
+    shed: int
+    max_queue_len: int
+    latency: LatencySummary
+    queue_wait: LatencySummary
+    execution: LatencySummary
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of this class's arrivals rejected by admission control."""
+        if self.offered <= 0:
+            return 0.0
+        return self.shed / self.offered
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (for JSON reports)."""
+        return {
+            "weight": self.weight,
+            "offered": float(self.offered),
+            "admitted": float(self.admitted),
+            "completed": float(self.completed),
+            "shed": float(self.shed),
+            "shed_rate": self.shed_rate,
+            "max_queue_len": float(self.max_queue_len),
+            "latency_p50": self.latency.p50,
+            "latency_p95": self.latency.p95,
+            "latency_p99": self.latency.p99,
+            "latency_mean": self.latency.mean,
+            "queue_wait_p95": self.queue_wait.p95,
+            "execution_p95": self.execution.p95,
+        }
+
+
+@dataclass(frozen=True)
 class SLOReport:
     """Service-level summary of one open-system run under one policy."""
 
@@ -44,6 +91,9 @@ class SLOReport:
     disk_utilisation: float = 0.0
     #: Busy fraction of each individual disk volume (one entry per volume).
     volume_utilisation: Tuple[float, ...] = ()
+    #: Per-workload-class slices of the same run (empty for reports built
+    #: without a front door, e.g. per-shard sub-query reports).
+    classes: Tuple[ClassSLO, ...] = ()
 
     @property
     def num_volumes(self) -> int:
@@ -94,7 +144,22 @@ class SLOReport:
                 f"volume_{index}_utilisation": value
                 for index, value in enumerate(self.volume_utilisation)
             },
+            **{
+                f"class_{report.query_class}_{key}": value
+                for report in self.classes
+                for key, value in report.as_dict().items()
+            },
         }
+
+    def class_report(self, query_class: str) -> ClassSLO:
+        """The per-class slice for ``query_class`` (raises if absent)."""
+        for report in self.classes:
+            if report.query_class == query_class:
+                return report
+        raise KeyError(
+            f"no class {query_class!r} in report "
+            f"(classes: {[r.query_class for r in self.classes]})"
+        )
 
 
 def build_slo_report(
@@ -104,12 +169,14 @@ def build_slo_report(
     max_queue_len: int = 0,
     offered_rate_qps: float = 0.0,
     admitted: Optional[int] = None,
+    classes: Tuple[ClassSLO, ...] = (),
 ) -> SLOReport:
     """Summarise one open-system run into its SLO metrics.
 
     ``admitted`` defaults to the number of completed queries, which is exact
     for runs driven to completion; pass the admission controller's counter
-    when summarising partial runs.
+    when summarising partial runs.  ``classes`` carries the front door's
+    per-class slices (:meth:`repro.service.frontdoor.FrontDoor.class_reports`).
     """
     queries = result.queries
     return SLOReport(
@@ -132,6 +199,7 @@ def build_slo_report(
         ),
         disk_utilisation=result.disk_utilisation,
         volume_utilisation=tuple(result.volume_utilisation),
+        classes=classes,
     )
 
 
@@ -146,6 +214,7 @@ def merge_shard_slo_reports(
     shed: int,
     max_queue_len: int = 0,
     offered_rate_qps: float = 0.0,
+    classes: Tuple[ClassSLO, ...] = (),
 ) -> SLOReport:
     """Gather per-shard reports into one cluster-level :class:`SLOReport`.
 
@@ -158,7 +227,9 @@ def merge_shard_slo_reports(
     aggregates volumes), re-normalised to the cluster makespan so shards
     that finished early count as idle for the remainder.  The front-queue
     counters (``offered`` … ``max_queue_len``) come from the cluster's
-    single admission controller.
+    single admission controller, and ``classes`` carries the front door's
+    per-class slices — whole-query quantities too, because a class's p95 is
+    defined over its queries, not its sub-queries.
 
     With a single shard every merged quantity reduces to the shard's own
     (the scale factor is exactly 1.0 and is skipped), preserving the
@@ -201,6 +272,7 @@ def merge_shard_slo_reports(
         execution=LatencySummary.from_values(executions),
         disk_utilisation=disk_utilisation,
         volume_utilisation=tuple(volume_utilisation),
+        classes=classes,
     )
 
 
@@ -228,6 +300,40 @@ def render_slo_table(
                 round(report.queue_wait.p95, 2),
                 report.max_queue_len,
                 round(100.0 * report.disk_utilisation, 1),
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def render_class_slo_table(
+    report: SLOReport,
+    title: Optional[str] = "Per-class service-level statistics",
+) -> str:
+    """One row per workload class: counts, shed rate and tail latencies.
+
+    Renders the :attr:`SLOReport.classes` slices — the table that shows
+    whether the interactive class kept its latency while batch volume grew,
+    and which class paid the shedding under overload.
+    """
+    headers = [
+        "class", "weight", "offered", "done", "shed", "shed%",
+        "lat p50", "lat p95", "lat p99", "wait p95", "maxQ",
+    ]
+    rows: List[List[object]] = []
+    for cls in report.classes:
+        rows.append(
+            [
+                cls.query_class,
+                round(cls.weight, 2),
+                cls.offered,
+                cls.completed,
+                cls.shed,
+                round(100.0 * cls.shed_rate, 1),
+                round(cls.latency.p50, 2),
+                round(cls.latency.p95, 2),
+                round(cls.latency.p99, 2),
+                round(cls.queue_wait.p95, 2),
+                cls.max_queue_len,
             ]
         )
     return format_table(headers, rows, title=title)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.config import DEFAULT_QUERY_CLASS
 from repro.disk.trace import IOTrace
 
 
@@ -34,6 +35,9 @@ class QueryResult:
     #: ``None`` means the query started executing the moment it was submitted
     #: (closed streams), i.e. it never waited in an admission queue.
     submit_time: Optional[float] = None
+    #: Workload class of the query (:data:`DEFAULT_QUERY_CLASS` unless the
+    #: workload declares classes), used by the per-class SLO tables.
+    query_class: str = DEFAULT_QUERY_CLASS
 
     @property
     def latency(self) -> float:

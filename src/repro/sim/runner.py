@@ -451,6 +451,7 @@ class ScanSimulator:
                 loads_triggered=self._abm.loads_triggered.get(query_id, 0),
                 delivery_order=delivery_order,
                 submit_time=run.submit_time,
+                query_class=spec.query_class,
             )
         )
         run.done = True

@@ -13,7 +13,9 @@ A query source answers three questions for the event loop:
 * *which* queries start now (:meth:`QuerySource.poll`), and
 * *what* follows the completion of a query
   (:meth:`QuerySource.on_complete` — the next query of the stream for closed
-  workloads, the head of the admission queue for the open service).
+  workloads; for the open service, whatever the front-door pipeline releases:
+  the head of the winning class queue, or several queued queries at once
+  right after an adaptive MPL increase).
 
 Sources also carry per-workload bookkeeping that does not belong in the
 event loop, such as the paper's per-stream running times.

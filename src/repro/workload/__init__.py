@@ -28,6 +28,7 @@ from repro.workload.tpch import (
 from repro.workload.queries import (
     QueryFamily,
     QueryTemplate,
+    classed_templates,
     nsm_query_families,
     dsm_query_families,
     make_scan_request,
@@ -51,6 +52,7 @@ __all__ = [
     "LINEITEM_TUPLES_PER_SF",
     "QueryFamily",
     "QueryTemplate",
+    "classed_templates",
     "nsm_query_families",
     "dsm_query_families",
     "make_scan_request",

@@ -11,12 +11,12 @@ random location".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.common.config import SystemConfig
+from repro.common.config import DEFAULT_QUERY_CLASS, SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.core.cscan import ScanRequest
 from repro.storage.dsm import DSMTableLayout
@@ -46,17 +46,30 @@ Q1_COLUMNS: Tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class QueryFamily:
-    """A class of queries with a common per-chunk processing cost."""
+    """A class of queries with a common per-chunk processing cost.
+
+    ``query_class`` tags every query instantiated from the family with a
+    workload class (e.g. ``"interactive"`` / ``"batch"``) for the service
+    front door's per-class admission; the default keeps all queries in the
+    single catch-all class.
+    """
 
     name: str
     cpu_per_chunk: float
     columns: Tuple[str, ...] = ()
+    query_class: str = DEFAULT_QUERY_CLASS
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("query family needs a name")
         if self.cpu_per_chunk < 0:
             raise ConfigurationError("cpu_per_chunk must be non-negative")
+        if not self.query_class:
+            raise ConfigurationError("query family needs a non-empty query class")
+
+    def with_query_class(self, query_class: str) -> "QueryFamily":
+        """Return a copy of this family tagged with a workload class."""
+        return replace(self, query_class=query_class)
 
 
 @dataclass(frozen=True)
@@ -137,6 +150,22 @@ def standard_templates(
     return tuple(templates)
 
 
+def classed_templates(
+    templates: Sequence[QueryTemplate], query_class: str
+) -> Tuple[QueryTemplate, ...]:
+    """Tag every template with a workload class (``interactive``/``batch``).
+
+    Convenience for building class-separated open-system workloads: the
+    returned templates instantiate into scan requests carrying
+    ``query_class``, which the service front door routes into that class's
+    admission queue.
+    """
+    return tuple(
+        replace(template, family=template.family.with_query_class(query_class))
+        for template in templates
+    )
+
+
 def make_scan_request(
     template: QueryTemplate,
     query_id: int,
@@ -165,6 +194,7 @@ def make_scan_request(
         chunks=chunk_ids,
         columns=effective_columns,
         cpu_per_chunk=template.family.cpu_per_chunk,
+        query_class=template.family.query_class,
     )
 
 
@@ -174,6 +204,7 @@ def request_from_chunks(
     chunks: Sequence[int],
     cpu_per_chunk: float,
     columns: Sequence[str] = (),
+    query_class: str = DEFAULT_QUERY_CLASS,
 ) -> ScanRequest:
     """Build a scan request from an explicit chunk list (zone-map plans, tests)."""
     return ScanRequest(
@@ -182,4 +213,5 @@ def request_from_chunks(
         chunks=tuple(sorted(set(chunks))),
         columns=tuple(columns),
         cpu_per_chunk=cpu_per_chunk,
+        query_class=query_class,
     )

@@ -10,7 +10,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.common.config import BufferConfig, CpuConfig, DiskConfig, SystemConfig
+from repro.common.config import (
+    BufferConfig,
+    CpuConfig,
+    DEFAULT_QUERY_CLASS,
+    DiskConfig,
+    SystemConfig,
+)
 from repro.common.units import KB, MB
 from repro.core.cscan import ScanRequest
 from repro.storage.dsm import DSMTableLayout
@@ -91,6 +97,7 @@ def make_request(
     name: str = "q",
     columns=(),
     cpu_per_chunk: float = 0.01,
+    query_class: str = DEFAULT_QUERY_CLASS,
 ) -> ScanRequest:
     """Helper to build a scan request from a chunk iterable."""
     return ScanRequest(
@@ -99,6 +106,7 @@ def make_request(
         chunks=tuple(sorted(chunks)),
         columns=tuple(columns),
         cpu_per_chunk=cpu_per_chunk,
+        query_class=query_class,
     )
 
 

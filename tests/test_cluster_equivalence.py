@@ -18,7 +18,12 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import run_cluster_service
-from repro.common.config import ClusterConfig, ServiceConfig
+from repro.common.config import (
+    AdaptiveMPLConfig,
+    ClusterConfig,
+    ServiceConfig,
+    WorkloadClassConfig,
+)
 from repro.service import run_service
 from repro.sim.results import scheduling_fingerprint as _fingerprint
 from repro.sim.setup import make_dsm_abm, make_nsm_abm
@@ -63,6 +68,8 @@ def _cluster_of(service: ServiceConfig) -> ClusterConfig:
         mpl_per_shard=service.max_concurrent,
         queue_capacity=service.queue_capacity,
         discipline=service.discipline,
+        classes=service.classes,
+        adaptive=service.adaptive,
     )
 
 
@@ -155,6 +162,78 @@ class TestOneShardEquivalenceDSM:
             record_trace=True,
         )
         _assert_equivalent(single, clustered)
+
+
+class TestFrontDoorConfigEquivalence:
+    """The unified front door adds no behaviour of its own: an explicit
+    single-class FIFO config, the implicit classless config, and a frozen
+    adaptive controller all reproduce the same run bit for bit, through
+    both ``run_service`` and a 1-shard ``run_cluster_service``."""
+
+    def _single(self, nsm_layout, small_config, service):
+        return run_service(
+            _arrivals(_nsm_templates(), nsm_layout),
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance", capacity_chunks=8),
+            service,
+            record_trace=True,
+        )
+
+    def _clustered(self, nsm_layout, small_config, service):
+        return run_cluster_service(
+            _arrivals(_nsm_templates(), nsm_layout),
+            small_config,
+            [make_nsm_abm(nsm_layout, small_config, "relevance", capacity_chunks=8)],
+            _cluster_of(service),
+            record_trace=True,
+        )
+
+    def test_explicit_default_class_is_the_implicit_config(
+        self, nsm_layout, small_config
+    ):
+        implicit = ServiceConfig(max_concurrent=3, queue_capacity=16)
+        explicit = ServiceConfig(
+            max_concurrent=3,
+            queue_capacity=16,
+            classes=(WorkloadClassConfig("default", weight=1.0),),
+        )
+        single_implicit = self._single(nsm_layout, small_config, implicit)
+        single_explicit = self._single(nsm_layout, small_config, explicit)
+        assert _fingerprint(single_implicit.run) == _fingerprint(
+            single_explicit.run
+        )
+        assert single_implicit.slo == single_explicit.slo
+        clustered_explicit = self._clustered(nsm_layout, small_config, explicit)
+        assert _fingerprint(single_explicit.run) == _fingerprint(
+            clustered_explicit.shard_runs[0]
+        )
+        assert single_explicit.slo == clustered_explicit.slo
+
+    def test_class_slices_match_across_front_doors(
+        self, nsm_layout, small_config
+    ):
+        service = ServiceConfig(max_concurrent=3)
+        single = self._single(nsm_layout, small_config, service)
+        clustered = self._clustered(nsm_layout, small_config, service)
+        assert single.slo.classes == clustered.slo.classes
+        (slice_,) = single.slo.classes
+        assert slice_.query_class == "default"
+        assert slice_.completed == single.slo.completed
+
+    def test_adaptive_controller_equivalent_across_front_doors(
+        self, nsm_layout, small_config
+    ):
+        service = ServiceConfig(
+            max_concurrent=3,
+            adaptive=AdaptiveMPLConfig(
+                target_p95_s=30.0, min_mpl=1, max_mpl=8, adjust_every=2
+            ),
+        )
+        single = self._single(nsm_layout, small_config, service)
+        clustered = self._clustered(nsm_layout, small_config, service)
+        assert _fingerprint(single.run) == _fingerprint(clustered.shard_runs[0])
+        assert single.slo == clustered.slo
+        assert single.mpl_timeline == clustered.mpl_timeline
 
 
 class TestMultiShardDeterminism:

@@ -178,7 +178,9 @@ class TestClusterConfig:
         front = cluster.front_service()
         assert front.max_concurrent == 6
         assert front.queue_capacity == 10
-        assert front.discipline == "priority"
+        # "priority" is a deprecated alias; both sides normalise to "sjf".
+        assert front.discipline == "sjf"
+        assert cluster.discipline == "sjf"
 
     def test_one_shard_front_equals_plain_service(self):
         cluster = ClusterConfig(shards=1, mpl_per_shard=8)

@@ -158,6 +158,31 @@ class TestTraceReplay:
             back = replay_arrivals(write_arrival_trace(arrivals, str(tmp_path / name)))
             assert back == arrivals
 
+    @pytest.mark.parametrize("extension", ["jsonl", "csv"])
+    def test_round_trip_preserves_query_class(
+        self, tmp_path, request_factory, extension
+    ):
+        arrivals = [
+            Arrival(0.0, request_factory(0, [0, 1], query_class="interactive")),
+            Arrival(0.5, request_factory(1, [2, 3], query_class="batch")),
+            Arrival(1.0, request_factory(2, [4])),  # default class
+        ]
+        path = write_arrival_trace(arrivals, str(tmp_path / f"t.{extension}"))
+        back = replay_arrivals(path)
+        assert back == arrivals
+        assert [a.spec.query_class for a in back] == [
+            "interactive", "batch", "default",
+        ]
+
+    def test_pre_class_traces_replay_into_default_class(self, tmp_path):
+        # Traces written before workload classes existed have no
+        # query_class field; they must replay unchanged.
+        path = str(tmp_path / "legacy.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"time": 0.0, "query_id": 4, "chunks": "0-3"}\n')
+        (arrival,) = replay_arrivals(path)
+        assert arrival.spec.query_class == "default"
+
     def test_replay_sorts_by_time_keeping_ties_stable(self, tmp_path, request_factory):
         path = str(tmp_path / "trace.jsonl")
         with open(path, "w") as handle:

@@ -1,0 +1,418 @@
+"""Tests for the unified front-door pipeline: workload classes, the MPL
+controllers, and the per-class SLO reporting they feed."""
+
+import pytest
+
+from repro.common.config import (
+    AdaptiveMPLConfig,
+    ServiceConfig,
+    WorkloadClassConfig,
+)
+from repro.common.errors import ConfigurationError
+from repro.core.policies.relevance import RelevanceParameters
+from repro.service import (
+    AdmissionController,
+    Arrival,
+    FrontDoor,
+    StaticMPLController,
+    AdaptiveMPLController,
+    render_class_slo_table,
+    run_service,
+)
+from repro.sim.setup import make_nsm_abm
+from repro.workload.queries import QueryFamily, QueryTemplate, classed_templates
+from repro.service.arrivals import poisson_arrivals
+from tests.conftest import make_request
+
+
+def interleaved_class_arrivals(nsm_layout, num_queries=16, rate=4.0, seed=11):
+    """Alternating interactive (small) and batch (large) arrivals."""
+    fast = QueryFamily("F", cpu_per_chunk=0.002, query_class="interactive")
+    slow = QueryFamily("S", cpu_per_chunk=0.01, query_class="batch")
+    interactive = poisson_arrivals(
+        [QueryTemplate(fast, 10)], nsm_layout, rate, num_queries // 2, seed=seed
+    )
+    batch = poisson_arrivals(
+        [QueryTemplate(slow, 80)],
+        nsm_layout,
+        rate,
+        num_queries // 2,
+        seed=seed + 1,
+        first_query_id=num_queries // 2,
+    )
+    merged = sorted(interactive + batch, key=lambda arrival: arrival.time)
+    return merged
+
+
+TWO_CLASSES = (
+    WorkloadClassConfig("interactive", weight=3.0),
+    WorkloadClassConfig("batch", weight=1.0),
+)
+
+
+class TestMPLControllers:
+    def test_static_controller_never_moves(self):
+        controller = StaticMPLController(6)
+        assert controller.limit() == 6
+        controller.on_completion(99.0, 0.0, 1.0)
+        assert controller.limit() == 6
+        assert controller.describe()["mpl_controller"] == "static"
+
+    def test_adaptive_decreases_multiplicatively_on_slow_p95(self):
+        config = AdaptiveMPLConfig(
+            target_p95_s=1.0, min_mpl=2, max_mpl=16, adjust_every=2
+        )
+        controller = AdaptiveMPLController(config, initial_mpl=8)
+        # A verdict needs adjust_every samples; each cut clears the window,
+        # so the next cut needs adjust_every *fresh* over-target samples —
+        # one backlogged burst cannot cascade straight to min_mpl.
+        controller.on_completion(5.0, 1.0, 1.0)
+        assert controller.limit() == 8  # window not full yet
+        controller.on_completion(5.0, 1.0, 2.0)
+        assert controller.limit() == 4  # 8 * 0.5
+        controller.on_completion(5.0, 1.0, 3.0)
+        assert controller.limit() == 4  # fresh window still filling
+        controller.on_completion(5.0, 1.0, 4.0)
+        assert controller.limit() == 2  # floor at min_mpl
+        controller.on_completion(5.0, 1.0, 5.0)
+        controller.on_completion(5.0, 1.0, 6.0)
+        assert controller.limit() == 2
+
+    def test_adaptive_increases_additively_within_target(self):
+        config = AdaptiveMPLConfig(
+            target_p95_s=10.0, min_mpl=1, max_mpl=6, adjust_every=1
+        )
+        controller = AdaptiveMPLController(config, initial_mpl=4)
+        for step in range(5):
+            controller.on_completion(0.5, 1.0, float(step))
+        assert controller.limit() == 6  # capped at max_mpl
+        assert [mpl for _, mpl in controller.adjustments] == [5, 6]
+
+    def test_hit_rate_floor_blocks_increase_but_not_decrease(self):
+        config = AdaptiveMPLConfig(
+            target_p95_s=1.0, adjust_every=1, hit_rate_floor=0.5
+        )
+        controller = AdaptiveMPLController(config, initial_mpl=4)
+        controller.on_completion(0.5, 0.1, 1.0)  # fast but hit rate collapsed
+        assert controller.limit() == 4
+        controller.on_completion(0.5, 0.9, 2.0)
+        assert controller.limit() == 5
+        controller.on_completion(5.0, 0.1, 3.0)  # slow: decrease regardless
+        assert controller.limit() == 2
+
+    def test_initial_mpl_clamped_into_bounds(self):
+        config = AdaptiveMPLConfig(target_p95_s=1.0, min_mpl=4, max_mpl=8)
+        assert AdaptiveMPLController(config, initial_mpl=1).limit() == 4
+        assert AdaptiveMPLController(config, initial_mpl=99).limit() == 8
+
+    def test_adaptive_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveMPLConfig(target_p95_s=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveMPLConfig(target_p95_s=1.0, min_mpl=4, max_mpl=2)
+        with pytest.raises(ConfigurationError):
+            AdaptiveMPLConfig(target_p95_s=1.0, decrease_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveMPLConfig(target_p95_s=1.0, hit_rate_floor=1.5)
+
+
+class TestFrontDoorPipeline:
+    def test_pump_classifies_and_admits(self):
+        admission = AdmissionController(
+            ServiceConfig(max_concurrent=1, classes=TWO_CLASSES)
+        )
+        arrivals = [
+            Arrival(0.0, make_request(0, range(4), query_class="batch")),
+            Arrival(0.1, make_request(1, range(4), query_class="interactive")),
+        ]
+        frontdoor = FrontDoor(arrivals, admission)
+        started = frontdoor.pump(0.1)
+        assert [entry.spec.query_id for entry in started] == [0]
+        assert admission.class_counters()["interactive"]["queued"] == 1
+        released = frontdoor.on_complete(0, 1.0)
+        assert [entry.spec.query_id for entry in released] == [1]
+        assert frontdoor.drained()
+        assert len(frontdoor.completions) == 1
+        assert frontdoor.completions[0].query_class == "batch"
+
+    def test_completion_for_unknown_query_raises(self):
+        from repro.common.errors import SimulationError
+
+        frontdoor = FrontDoor(
+            [Arrival(0.0, make_request(0, range(4)))],
+            AdmissionController(ServiceConfig()),
+        )
+        frontdoor.pump(0.0)
+        with pytest.raises(SimulationError):
+            frontdoor.on_complete(77, 1.0)
+
+    def test_hit_rate_measured_over_completed_queries_only(self):
+        admission = AdmissionController(ServiceConfig(max_concurrent=2))
+        arrivals = [
+            Arrival(0.0, make_request(0, range(8))),
+            Arrival(0.1, make_request(1, range(8))),
+        ]
+        loads = {0: 2, 1: 8}
+        frontdoor = FrontDoor(
+            arrivals, admission, loads_probe=lambda query_id: loads[query_id]
+        )
+        frontdoor.pump(0.1)
+        assert frontdoor.hit_rate() == 0.0  # nothing completed yet
+        frontdoor.on_complete(0, 1.0)
+        # Query 0 consumed 8 chunks from 2 loads; query 1's in-flight
+        # loads must not drag the signal down.
+        assert frontdoor.hit_rate() == pytest.approx(1.0 - 2 / 8)
+        frontdoor.on_complete(1, 2.0)
+        assert frontdoor.hit_rate() == pytest.approx(1.0 - 10 / 16)
+
+    def test_mpl_timeline_static_is_single_entry(self):
+        frontdoor = FrontDoor(
+            [Arrival(0.0, make_request(0, range(4)))],
+            AdmissionController(ServiceConfig(max_concurrent=5)),
+        )
+        assert frontdoor.mpl_timeline == [(0.0, 5)]
+
+    def test_describe_merges_admission_and_controller(self):
+        frontdoor = FrontDoor(
+            [Arrival(0.0, make_request(0, range(4)))],
+            AdmissionController(ServiceConfig(max_concurrent=5)),
+        )
+        described = frontdoor.describe()
+        assert described["num_arrivals"] == 1
+        assert described["mpl_controller"] == "static"
+        assert described["mpl_limit"] == 5
+
+
+class TestServiceWithClasses:
+    def test_per_class_slo_slices(self, nsm_layout, small_config):
+        arrivals = interleaved_class_arrivals(nsm_layout)
+        service = ServiceConfig(max_concurrent=2, classes=TWO_CLASSES)
+        result = run_service(
+            arrivals,
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+            service,
+        )
+        report = result.slo
+        assert [cls.query_class for cls in report.classes] == [
+            "interactive", "batch",
+        ]
+        interactive = report.class_report("interactive")
+        batch = report.class_report("batch")
+        assert interactive.offered == 8 and batch.offered == 8
+        assert interactive.completed + batch.completed == report.completed
+        # Interactive queries scan 10% of the table, batch 80%: the class
+        # split must be visible as a latency gap in the slices.
+        assert interactive.latency.p95 < batch.latency.p95
+        flat = report.as_dict()
+        assert flat["class_interactive_latency_p95"] == interactive.latency.p95
+        table = render_class_slo_table(report)
+        assert "interactive" in table and "batch" in table
+
+    def test_single_class_run_still_reports_one_slice(
+        self, nsm_layout, small_config
+    ):
+        fast = QueryFamily("F", cpu_per_chunk=0.002)
+        arrivals = poisson_arrivals(
+            [QueryTemplate(fast, 25)], nsm_layout, 2.0, 6, seed=3
+        )
+        result = run_service(
+            arrivals,
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "normal"),
+            ServiceConfig(max_concurrent=2),
+        )
+        (slice_,) = result.slo.classes
+        assert slice_.query_class == "default"
+        assert slice_.completed == result.slo.completed
+        assert slice_.latency == result.slo.latency
+
+    def test_per_class_shed_shows_which_class_was_rejected(
+        self, nsm_layout, small_config
+    ):
+        arrivals = interleaved_class_arrivals(nsm_layout, rate=50.0)
+        service = ServiceConfig(
+            max_concurrent=1,
+            classes=(
+                WorkloadClassConfig("interactive", queue_capacity=None),
+                WorkloadClassConfig("batch", queue_capacity=0),
+            ),
+        )
+        result = run_service(
+            arrivals,
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+            service,
+        )
+        interactive = result.slo.class_report("interactive")
+        batch = result.slo.class_report("batch")
+        assert interactive.shed == 0
+        assert batch.shed > 0
+        assert result.slo.shed == batch.shed
+        assert batch.shed_rate > 0
+
+    def test_class_weights_cut_interactive_queue_wait(
+        self, nsm_layout, small_config
+    ):
+        # Same traffic, same MPL: giving interactive a large weight must not
+        # increase its p95 queue wait compared to flat weights, and the
+        # favoured run must keep interactive no slower than the flat run's
+        # batch class.
+        arrivals = interleaved_class_arrivals(nsm_layout, rate=8.0)
+
+        def run(weights):
+            interactive_weight, batch_weight = weights
+            service = ServiceConfig(
+                max_concurrent=2,
+                classes=(
+                    WorkloadClassConfig("interactive", weight=interactive_weight),
+                    WorkloadClassConfig("batch", weight=batch_weight),
+                ),
+            )
+            return run_service(
+                arrivals,
+                small_config,
+                make_nsm_abm(nsm_layout, small_config, "relevance"),
+                service,
+            ).slo
+
+        flat = run((1.0, 1.0))
+        favoured = run((8.0, 1.0))
+        assert (
+            favoured.class_report("interactive").queue_wait.p95
+            <= flat.class_report("interactive").queue_wait.p95 + 1e-9
+        )
+
+    def test_relevance_class_weights_affect_scheduling(self):
+        parameters = RelevanceParameters(
+            class_priority={"interactive": 64.0},
+            class_starvation_weight={"batch": 0.5},
+        )
+        assert parameters.priority_of("interactive") == 64.0
+        assert parameters.priority_of("batch") == 0.0
+        assert parameters.starvation_weight_of("batch") == 0.5
+        assert parameters.starvation_weight_of("interactive") == 1.0
+        with pytest.raises(ValueError):
+            RelevanceParameters(class_starvation_weight={"x": 0.0})
+
+    def test_relevance_boost_reorders_query_relevance(self):
+        from repro.core.abm import ActiveBufferManager
+        from repro.core.policies.relevance import RelevancePolicy
+
+        policy = RelevancePolicy(
+            RelevanceParameters(class_priority={"interactive": 64.0})
+        )
+        abm = ActiveBufferManager(
+            num_chunks=16, capacity_chunks=4, policy=policy, chunk_bytes=1024
+        )
+        abm.register(make_request(0, range(8), query_class="batch"), now=0.0)
+        abm.register(
+            make_request(1, range(8), query_class="interactive"), now=0.0
+        )
+        batch_score = policy.query_relevance(abm.handle(0), now=1.0)
+        interactive_score = policy.query_relevance(abm.handle(1), now=1.0)
+        # Identical scans, identical waits: only the class boost separates
+        # them, and it must dominate.
+        assert interactive_score == batch_score + 64.0
+
+    def test_neutral_class_tables_score_identically(self):
+        from repro.core.abm import ActiveBufferManager
+        from repro.core.policies.relevance import RelevancePolicy
+
+        plain = RelevancePolicy(RelevanceParameters())
+        tabled = RelevancePolicy(
+            RelevanceParameters(
+                class_priority={"other": 9.0},
+                class_starvation_weight={"other": 3.0},
+            )
+        )
+        for policy in (plain, tabled):
+            abm = ActiveBufferManager(
+                num_chunks=16, capacity_chunks=4, policy=policy, chunk_bytes=1024
+            )
+            abm.register(make_request(0, range(8)), now=0.0)
+        assert plain.query_relevance(
+            plain.abm.handle(0), now=2.0
+        ) == tabled.query_relevance(tabled.abm.handle(0), now=2.0)
+
+
+class TestAdaptiveService:
+    def overload_arrivals(self, nsm_layout):
+        fast = QueryFamily("F", cpu_per_chunk=0.002)
+        slow = QueryFamily("S", cpu_per_chunk=0.01)
+        return poisson_arrivals(
+            [QueryTemplate(fast, 25), QueryTemplate(slow, 75)],
+            nsm_layout,
+            4.0,
+            24,
+            seed=29,
+        )
+
+    def test_adaptive_run_completes_and_records_timeline(
+        self, nsm_layout, small_config
+    ):
+        service = ServiceConfig(
+            max_concurrent=8,
+            adaptive=AdaptiveMPLConfig(
+                target_p95_s=2.0, min_mpl=1, max_mpl=16, adjust_every=2
+            ),
+        )
+        result = run_service(
+            self.overload_arrivals(nsm_layout),
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+            service,
+        )
+        assert result.slo.completed == 24
+        assert result.mpl_timeline[0] == (0.0, 8)
+        assert len(result.mpl_timeline) > 1  # the controller actually moved
+        assert result.final_mpl == result.mpl_timeline[-1][1]
+        times = [time for time, _ in result.mpl_timeline]
+        assert times == sorted(times)
+
+    def test_adaptive_run_is_deterministic(self, nsm_layout, small_config):
+        def once():
+            service = ServiceConfig(
+                max_concurrent=8,
+                adaptive=AdaptiveMPLConfig(target_p95_s=2.0, adjust_every=2),
+            )
+            return run_service(
+                self.overload_arrivals(nsm_layout),
+                small_config,
+                make_nsm_abm(nsm_layout, small_config, "relevance"),
+                service,
+            )
+
+        first, second = once(), once()
+        assert first.slo == second.slo
+        assert first.mpl_timeline == second.mpl_timeline
+
+    def test_static_equals_adaptive_with_frozen_bounds(
+        self, nsm_layout, small_config
+    ):
+        # An adaptive controller whose bounds pin the MPL to its start value
+        # must reproduce the static service bit for bit.
+        from repro.sim.results import scheduling_fingerprint
+
+        arrivals = self.overload_arrivals(nsm_layout)
+        static = run_service(
+            arrivals,
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+            ServiceConfig(max_concurrent=4),
+        )
+        frozen = run_service(
+            arrivals,
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+            ServiceConfig(
+                max_concurrent=4,
+                adaptive=AdaptiveMPLConfig(
+                    target_p95_s=1e9, min_mpl=4, max_mpl=4
+                ),
+            ),
+        )
+        assert scheduling_fingerprint(static.run) == scheduling_fingerprint(
+            frozen.run
+        )
+        assert static.slo == frozen.slo

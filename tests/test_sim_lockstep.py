@@ -1,0 +1,190 @@
+"""Edge-case tests for the lockstep multi-simulator driver."""
+
+import pytest
+
+from repro.cluster import run_cluster_service
+from repro.common.config import ClusterConfig, ServiceConfig
+from repro.common.errors import SimulationError
+from repro.service import Arrival
+from repro.sim.lockstep import LockstepRunner
+from repro.sim.results import scheduling_fingerprint
+from repro.sim.runner import ScanSimulator
+from repro.sim.setup import make_nsm_abm
+from repro.storage.nsm import NSMTableLayout
+from tests.conftest import make_request
+
+
+def _shard_layouts(tiny_schema, small_config, shard_map):
+    tuples_per_chunk = small_config.buffer.chunk_bytes // 32
+    return [
+        NSMTableLayout.from_buffer_config(
+            tiny_schema,
+            shard_map.chunks_owned(shard) * tuples_per_chunk,
+            small_config.buffer,
+        )
+        for shard in range(shard_map.num_shards)
+    ]
+
+
+def _run_cluster(tiny_schema, small_config, arrivals, shards=2, num_chunks=16):
+    from repro.cluster import ShardMap
+
+    cluster = ClusterConfig(shards=shards, mpl_per_shard=2)
+    shard_map = ShardMap.from_cluster_config(cluster, num_chunks)
+    abms = [
+        make_nsm_abm(layout, small_config, "relevance", capacity_chunks=4)
+        for layout in _shard_layouts(tiny_schema, small_config, shard_map)
+    ]
+    return run_cluster_service(
+        arrivals, small_config, abms, cluster, record_trace=True
+    )
+
+
+class TestZeroArrivalShard:
+    def test_shard_without_subqueries_finishes_clean(
+        self, tiny_schema, small_config
+    ):
+        # Range placement over 16 chunks: shard 0 owns 0-7, shard 1 owns
+        # 8-15.  Every arrival stays inside shard 0, so shard 1 must idle
+        # through the whole run without deadlocking the lockstep driver.
+        arrivals = [
+            Arrival(0.0, make_request(0, range(0, 6))),
+            Arrival(0.5, make_request(1, range(2, 8))),
+            Arrival(1.0, make_request(2, range(0, 4))),
+        ]
+        result = _run_cluster(tiny_schema, small_config, arrivals)
+        assert len(result.records) == 3
+        assert result.shard_runs[1].queries == []
+        # The idle shard's clock only ever advanced to arrival instants
+        # (it wakes to pump the front door), never into work of its own.
+        assert result.shard_runs[1].total_time == 1.0
+        assert result.shard_runs[1].io_requests == 0
+        assert all(record.shards == (0,) for record in result.records)
+
+    def test_zero_arrival_shard_run_repeats_identically(
+        self, tiny_schema, small_config
+    ):
+        arrivals = [
+            Arrival(0.0, make_request(0, range(0, 6))),
+            Arrival(0.5, make_request(1, range(2, 8))),
+        ]
+        first = _run_cluster(tiny_schema, small_config, arrivals)
+        second = _run_cluster(tiny_schema, small_config, arrivals)
+        for run_a, run_b in zip(first.shard_runs, second.shard_runs):
+            assert scheduling_fingerprint(run_a) == scheduling_fingerprint(run_b)
+
+
+class TestShardsFinishBeforeFrontDrains:
+    def test_late_arrival_after_all_shards_went_idle(
+        self, tiny_schema, small_config
+    ):
+        # Both shards finish all scattered work long before the last
+        # arrival is due: the front door still holds an unconsumed arrival,
+        # so no shard may report drained, and the frontier must jump over
+        # the idle gap to the late arrival.
+        arrivals = [
+            Arrival(0.0, make_request(0, range(0, 8))),
+            Arrival(500.0, make_request(1, range(8, 16))),
+        ]
+        result = _run_cluster(tiny_schema, small_config, arrivals)
+        assert len(result.records) == 2
+        by_id = {record.query_id: record for record in result.records}
+        assert by_id[1].admit_time >= 500.0
+        # Shard 1 only worked after the idle gap.
+        assert by_id[1].shards == (1,)
+        assert result.shard_runs[1].queries[0].arrival_time >= 500.0
+
+    def test_front_queue_drains_after_early_shard_finished(
+        self, tiny_schema, small_config
+    ):
+        # MPL 1 cluster: the front queue still holds queries when shard 1's
+        # only sub-query is done.  The finished-shard skip must not starve
+        # the queue — every queued query still runs on shard 0.
+        from repro.cluster import ShardMap
+        from repro.service.admission import AdmissionController
+        from repro.cluster.coordinator import ClusterCoordinator, ShardSource
+
+        cluster = ClusterConfig(shards=2, mpl_per_shard=1)
+        shard_map = ShardMap.from_cluster_config(cluster, 16)
+        admission = AdmissionController(
+            ServiceConfig(max_concurrent=1)  # tighter than the cluster MPL
+        )
+        arrivals = [
+            Arrival(0.0, make_request(0, range(4, 12))),   # both shards
+            Arrival(0.1, make_request(1, range(0, 4))),    # shard 0, queued
+            Arrival(0.2, make_request(2, range(2, 6))),    # shard 0, queued
+        ]
+        coordinator = ClusterCoordinator(arrivals, shard_map, admission)
+        abms = [
+            make_nsm_abm(layout, small_config, "relevance", capacity_chunks=4)
+            for layout in _shard_layouts(tiny_schema, small_config, shard_map)
+        ]
+        simulators = [
+            ScanSimulator(ShardSource(coordinator, shard), small_config, abm)
+            for shard, abm in enumerate(abms)
+        ]
+        runs = LockstepRunner(simulators).run()
+        assert len(coordinator.records) == 3
+        assert {record.query_id for record in coordinator.records} == {0, 1, 2}
+        # Queries 1 and 2 ran after shard 1 had nothing left to do.
+        assert len(runs[0].queries) == 3
+        assert len(runs[1].queries) == 1
+
+
+class TestSingleStepAndSingleton:
+    def test_fleet_of_one_equals_solo_run(self, nsm_layout, small_config):
+        def build():
+            return ScanSimulator(
+                [[make_request(0, range(0, 8), cpu_per_chunk=0.002),
+                  make_request(1, range(4, 12), cpu_per_chunk=0.004)],
+                 [make_request(2, range(2, 10), cpu_per_chunk=0.002)]],
+                small_config,
+                make_nsm_abm(nsm_layout, small_config, "relevance"),
+                record_trace=True,
+            )
+
+        solo = build().run()
+        (lockstepped,) = LockstepRunner([build()]).run()
+        assert scheduling_fingerprint(solo) == scheduling_fingerprint(lockstepped)
+
+    def test_single_query_single_chunk_simulator(self, nsm_layout, small_config):
+        # The smallest possible simulation: one query over one chunk, no
+        # CPU cost — a handful of steps end to end.  The lockstep driver
+        # must finish it and produce a coherent result.
+        simulator = ScanSimulator(
+            [[make_request(0, [3], cpu_per_chunk=0.0)]],
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "normal"),
+        )
+        (run,) = LockstepRunner([simulator]).run()
+        assert len(run.queries) == 1
+        assert run.queries[0].chunks == 1
+        assert run.io_requests == 1
+        assert run.total_time > 0
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(SimulationError):
+            LockstepRunner([])
+
+    def test_finished_simulators_are_skipped_not_reprobed(
+        self, nsm_layout, small_config
+    ):
+        # A fleet of unequal closed workloads: the short simulator finishes
+        # first and must be skipped (its policy makes no further calls)
+        # while the longer one keeps stepping.
+        short = ScanSimulator(
+            [[make_request(0, [0], cpu_per_chunk=0.0)]],
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+        )
+        long = ScanSimulator(
+            [[make_request(1, range(0, 16), cpu_per_chunk=0.01)]],
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+        )
+        short_run, long_run = LockstepRunner([short, long]).run()
+        assert short.is_done() and long.is_done()
+        assert short_run.total_time < long_run.total_time
+        # The short sim's scheduling calls stop growing once it is done:
+        # re-running the probe loop would have inflated them.
+        assert short_run.scheduling_calls < long_run.scheduling_calls
