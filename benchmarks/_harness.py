@@ -17,9 +17,10 @@ EXPERIMENTS.md numbers were taken from.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.config import PAPER_DSM_SYSTEM, PAPER_NSM_SYSTEM, SystemConfig
 from repro.metrics import PolicyComparison, compare_runs
@@ -161,6 +162,65 @@ def run_dsm_comparison(
                         prefetch=False),
     )
     return compare_runs(runs, baseline)
+
+
+#: Schema identifier and version of the ``BENCH_core.json`` summary file.
+BENCH_CORE_SCHEMA = "repro-bench-core"
+BENCH_CORE_VERSION = 1
+
+#: The repo-root summary every core benchmark merges its headline rows into.
+BENCH_CORE_PATH = os.environ.get(
+    "REPRO_BENCH_CORE_JSON",
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_core.json",
+    ),
+)
+
+
+def update_bench_core(
+    section: str,
+    rows: Sequence[Dict[str, object]],
+    workload: Optional[Dict[str, object]] = None,
+) -> str:
+    """Merge one benchmark's headline rows into ``BENCH_core.json``.
+
+    The file lives at the repo root and is schema-versioned so downstream
+    tooling can rely on its shape: a top-level ``schema``/``version`` pair
+    and one ``sections[name]`` entry per benchmark, each holding the
+    workload parameters and a flat list of rows (``queries`` x ``chunks``
+    x ``shards`` -> wall-clock seconds and per-decision scheduling cost).
+    Sections written by other benchmarks are preserved; a file with a
+    different schema or version is replaced wholesale.
+    """
+    payload: Dict[str, object] = {
+        "schema": BENCH_CORE_SCHEMA,
+        "version": BENCH_CORE_VERSION,
+        "sections": {},
+    }
+    if os.path.exists(BENCH_CORE_PATH):
+        try:
+            with open(BENCH_CORE_PATH) as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+        if (
+            isinstance(existing, dict)
+            and existing.get("schema") == BENCH_CORE_SCHEMA
+            and existing.get("version") == BENCH_CORE_VERSION
+            and isinstance(existing.get("sections"), dict)
+        ):
+            payload["sections"] = existing["sections"]
+    sections: Dict[str, object] = payload["sections"]  # type: ignore[assignment]
+    sections[section] = {
+        "scale": SCALE,
+        "workload": dict(workload or {}),
+        "rows": [dict(row) for row in rows],
+    }
+    with open(BENCH_CORE_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return BENCH_CORE_PATH
 
 
 def run_once(benchmark, func: Callable):

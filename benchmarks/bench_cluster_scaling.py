@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
-from benchmarks._harness import print_banner, run_once
+from benchmarks._harness import print_banner, run_once, update_bench_core
 from repro.cluster import ShardMap, compare_cluster_policies
 from repro.common.config import (
     BufferConfig,
@@ -172,14 +173,19 @@ def _dsm_case(config: SystemConfig):
 
 
 def _sweep(config, layout, templates, shard_abms):
-    """{shards: {lambda: {policy: SLOReport}}} over the whole grid."""
+    """{shards: {lambda: {policy: SLOReport}}} plus per-shard-count core
+    stats (wall-clock seconds, per-decision scheduling cost) over the grid."""
     surface = {}
+    core = {}
     for shards in SHARD_COUNTS:
         cluster = ClusterConfig(
             shards=shards, placement="range", mpl_per_shard=MPL_PER_SHARD
         )
         shard_map = ShardMap.from_cluster_config(cluster, NUM_CHUNKS)
         per_load = {}
+        started = time.perf_counter()
+        scheduling_calls = 0
+        scheduling_seconds = 0.0
         for offered_load in OFFERED_LOADS:
             arrivals = poisson_arrivals(
                 templates, layout, offered_load, NUM_QUERIES, seed=ARRIVAL_SEED
@@ -194,17 +200,36 @@ def _sweep(config, layout, templates, shard_abms):
             per_load[offered_load] = {
                 policy: outcome.slo for policy, outcome in results.items()
             }
+            for outcome in results.values():
+                for run in outcome.shard_runs:
+                    scheduling_calls += run.scheduling_calls
+                    scheduling_seconds += run.scheduling_seconds
+        core[shards] = {
+            "queries": NUM_QUERIES * len(OFFERED_LOADS) * len(POLICIES),
+            "chunks": NUM_CHUNKS,
+            "shards": shards,
+            "wall_clock_s": round(time.perf_counter() - started, 4),
+            "per_decision_us": round(
+                scheduling_seconds / scheduling_calls * 1e6
+                if scheduling_calls
+                else 0.0,
+                3,
+            ),
+        }
         surface[shards] = per_load
-    return surface
+    return surface, core
 
 
 def _experiment():
     config = _config()
     results = {}
+    core = {}
     for layout_name, case in (("NSM", _nsm_case), ("DSM", _dsm_case)):
         layout, templates, shard_abms = case(config)
-        results[layout_name] = _sweep(config, layout, templates, shard_abms)
-    return results
+        results[layout_name], core[layout_name] = _sweep(
+            config, layout, templates, shard_abms
+        )
+    return results, core
 
 
 def _slo_threshold(surface) -> float:
@@ -333,12 +358,34 @@ def _write_json(results) -> None:
     print(f"\nwrote {JSON_PATH}")
 
 
+def _write_bench_core(core) -> None:
+    rows = [
+        {"layout": layout_name, **stats}
+        for layout_name, per_layout in core.items()
+        for _, stats in sorted(per_layout.items())
+    ]
+    path = update_bench_core(
+        "cluster_scaling",
+        rows,
+        workload={
+            "num_chunks": NUM_CHUNKS,
+            "num_queries": NUM_QUERIES,
+            "mpl_per_shard": MPL_PER_SHARD,
+            "shard_counts": list(SHARD_COUNTS),
+            "offered_loads": list(OFFERED_LOADS),
+        },
+    )
+    print(f"merged core rows into {path}")
+
+
 def bench_cluster_scaling(benchmark):
-    results = run_once(benchmark, _experiment)
+    results, core = run_once(benchmark, _experiment)
     _report(results)
+    _write_bench_core(core)
 
 
 if __name__ == "__main__":
-    results = _experiment()
+    results, core = _experiment()
     _report(results)
     _write_json(results)
+    _write_bench_core(core)

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
-from benchmarks._harness import SCALE, print_banner, run_once
+from benchmarks._harness import SCALE, print_banner, run_once, update_bench_core
 from repro.common.config import PAPER_DSM_SYSTEM, PAPER_NSM_SYSTEM
 from repro.common.units import GB
 from repro.metrics.report import format_table
@@ -132,7 +133,9 @@ def _measure(run) -> dict:
     sample kept; both samples must still make identical decisions.
     """
     naive = run(incremental=False)
+    started = time.perf_counter()
     incremental = run(incremental=True)
+    wall_clock = time.perf_counter() - started
     repeat = run(incremental=True)
     for candidate in (incremental, repeat):
         assert scheduling_fingerprint(naive) == scheduling_fingerprint(candidate), (
@@ -156,6 +159,7 @@ def _measure(run) -> dict:
             else float("inf")
         ),
         "total_time": incremental.total_time,
+        "wall_clock_s": wall_clock,
     }
 
 
@@ -264,12 +268,49 @@ def _write_json(results) -> None:
     print(f"\nwrote {JSON_PATH}")
 
 
+def _core_rows(results) -> list:
+    """The ``BENCH_core.json`` rows: one per (layout, queries x chunks)."""
+    rows = []
+    for layout_name, per_layout in results.items():
+        for stats in sorted(
+            per_layout.values(), key=lambda s: (s["chunks"], s["queries"])
+        ):
+            rows.append(
+                {
+                    "layout": layout_name,
+                    "queries": stats["queries"],
+                    "chunks": stats["chunks"],
+                    "shards": 1,
+                    "wall_clock_s": round(stats["wall_clock_s"], 4),
+                    "per_decision_us": round(
+                        stats["incremental_per_decision_us"], 3
+                    ),
+                }
+            )
+    return rows
+
+
+def _write_bench_core(results) -> None:
+    path = update_bench_core(
+        "scheduling_overhead",
+        _core_rows(results),
+        workload={
+            "stream_counts": list(STREAM_COUNTS),
+            "chunk_counts": list(CHUNK_COUNTS),
+            "queries_per_stream": QUERIES_PER_STREAM,
+        },
+    )
+    print(f"merged core rows into {path}")
+
+
 def bench_scheduling_overhead(benchmark):
     results = run_once(benchmark, _experiment)
     _report(results)
+    _write_bench_core(results)
 
 
 if __name__ == "__main__":
     results = _experiment()
     _report(results)
     _write_json(results)
+    _write_bench_core(results)

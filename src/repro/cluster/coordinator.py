@@ -36,6 +36,13 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.common.config import ClusterConfig, DEFAULT_QUERY_CLASS, SystemConfig
 from repro.common.errors import SimulationError
 from repro.cluster.shardmap import ShardMap
+from repro.metrics.timeline import validate_timeline
+from repro.obs.profile import SchedulerProfile
+from repro.obs.recorder import (
+    FlightRecorder,
+    ObservabilityLike,
+    build_flight_recorder,
+)
 from repro.service.admission import (
     AdmissionController,
     QueuedQuery,
@@ -118,6 +125,7 @@ class ClusterCoordinator:
         admission: AdmissionController,
         mpl_controller: Optional[MPLController] = None,
         loads_probe: Optional[Callable[[int], int]] = None,
+        obs: Optional[FlightRecorder] = None,
     ) -> None:
         self.frontdoor = FrontDoor(
             arrivals,
@@ -125,7 +133,12 @@ class ClusterCoordinator:
             mpl_controller=mpl_controller,
             loads_probe=loads_probe,
             where="cluster workload",
+            obs=obs,
         )
+        #: Optional flight recorder; scatter/gather events go to the
+        #: front-door process's ``cluster`` track.
+        self._obs = obs
+        self._obs_pid = "frontdoor"
         self.shard_map = shard_map
         #: Sub-queries scattered to each shard but not yet polled by it,
         #: as ``(release_time, admitted)`` in release order.
@@ -189,6 +202,21 @@ class ClusterCoordinator:
             shards=tuple(plan),
             remaining=len(plan),
         )
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.scatter",
+                "cluster",
+                now,
+                self._obs_pid,
+                "cluster",
+                query=entry.spec.query_id,
+                query_name=entry.spec.name,
+                query_class=entry.query_class,
+                chunks=entry.spec.num_chunks,
+                shards=sorted(plan),
+                subqueries=len(plan),
+            )
+            self._obs.set_gauge("cluster.open_queries", now, float(len(self._open)))
         direct: Optional[AdmittedQuery] = None
         for shard, sub_spec in plan.items():
             admitted = AdmittedQuery(
@@ -224,9 +252,34 @@ class ClusterCoordinator:
                 f"query {query_id} completed on shard {shard} it never touched"
             )
         open_query.remaining -= 1
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.subquery.complete",
+                "cluster",
+                now,
+                self._obs_pid,
+                "cluster",
+                query=query_id,
+                shard=shard,
+                remaining=open_query.remaining,
+            )
         if open_query.remaining > 0:
             return []
         del self._open[query_id]
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.gather",
+                "cluster",
+                now,
+                self._obs_pid,
+                "cluster",
+                query=query_id,
+                query_name=open_query.name,
+                query_class=open_query.query_class,
+                shards=list(open_query.shards),
+                end_to_end_latency=now - open_query.submit_time,
+            )
+            self._obs.set_gauge("cluster.open_queries", now, float(len(self._open)))
         self.records.append(
             ClusterQueryRecord(
                 query_id=query_id,
@@ -332,6 +385,9 @@ class ClusterResult:
     records: List[ClusterQueryRecord] = field(default_factory=list)
     #: ``(time, mpl)`` trajectory of the enforced cluster MPL limit.
     mpl_timeline: Tuple[Tuple[float, int], ...] = ()
+    #: The flight recorder shared by the front door and every shard
+    #: (``None`` when observability was not requested).
+    obs: Optional[FlightRecorder] = None
 
     @property
     def duration(self) -> float:
@@ -343,6 +399,18 @@ class ClusterResult:
         """The MPL in force when the run ended."""
         return self.mpl_timeline[-1][1] if self.mpl_timeline else 0
 
+    @property
+    def scheduler_profile(self) -> Optional[SchedulerProfile]:
+        """Per-phase scheduling cost merged over every shard's run."""
+        profiles = [
+            run.scheduler_profile
+            for run in self.shard_runs
+            if run.scheduler_profile is not None
+        ]
+        if not profiles:
+            return None
+        return SchedulerProfile.merge(profiles)
+
 
 def run_cluster_service(
     arrivals: Sequence[Arrival],
@@ -352,6 +420,7 @@ def run_cluster_service(
     num_chunks: Optional[int] = None,
     record_trace: bool = False,
     mpl_controller: Optional[MPLController] = None,
+    obs: ObservabilityLike = None,
 ) -> ClusterResult:
     """Serve one arrival sequence with a sharded scatter-gather cluster.
 
@@ -362,7 +431,13 @@ def run_cluster_service(
     sum of the shard tables, which is exact for both placements.  The front
     door (workload classes, job sizing, adaptive MPL) is configured exactly
     like :func:`repro.service.run_service` configures its own.
+
+    ``obs`` threads one shared flight recorder through the front door (the
+    ``"frontdoor"`` process), the coordinator's scatter/gather track and
+    every shard simulator (processes ``"shard0"``, ``"shard1"``, ...); the
+    recorder comes back on :attr:`ClusterResult.obs`.
     """
+    recorder = build_flight_recorder(obs)
     abms = list(shard_abms)
     if num_chunks is None:
         num_chunks = sum(abm.num_chunks for abm in abms)
@@ -382,6 +457,7 @@ def run_cluster_service(
         loads_probe=lambda query_id: sum(
             abm.loads_triggered.get(query_id, 0) for abm in abms
         ),
+        obs=recorder,
     )
     simulators = [
         ScanSimulator(
@@ -389,7 +465,7 @@ def run_cluster_service(
         )
         for shard, abm in enumerate(abms)
     ]
-    shard_runs = LockstepRunner(simulators).run()
+    shard_runs = LockstepRunner(simulators, obs=recorder).run()
 
     records = sorted(coordinator.records, key=lambda record: record.query_id)
     loads: Dict[int, int] = {}
@@ -425,6 +501,8 @@ def run_cluster_service(
         offered_rate_qps=rate,
         classes=coordinator.frontdoor.class_reports(),
     )
+    mpl_timeline = tuple(coordinator.frontdoor.mpl_timeline)
+    validate_timeline(mpl_timeline, where="cluster MPL timeline")
     return ClusterResult(
         policy=slo.policy,
         cluster=cluster,
@@ -433,7 +511,8 @@ def run_cluster_service(
         shard_reports=shard_reports,
         slo=slo,
         records=records,
-        mpl_timeline=tuple(coordinator.frontdoor.mpl_timeline),
+        mpl_timeline=mpl_timeline,
+        obs=recorder,
     )
 
 

@@ -37,6 +37,7 @@ from repro.common.config import (
     ClusterConfig,
     WorkloadClassConfig,
     AdaptiveMPLConfig,
+    ObservabilityConfig,
     DEFAULT_QUERY_CLASS,
     canonical_discipline,
     ADMISSION_DISCIPLINES,
@@ -69,6 +70,7 @@ __all__ = [
     "ClusterConfig",
     "WorkloadClassConfig",
     "AdaptiveMPLConfig",
+    "ObservabilityConfig",
     "DEFAULT_QUERY_CLASS",
     "canonical_discipline",
     "ADMISSION_DISCIPLINES",

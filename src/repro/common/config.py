@@ -586,6 +586,60 @@ class ClusterConfig:
         return described
 
 
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Flight-recorder knobs shared by every run entry point.
+
+    Passed (as the ``obs`` argument) to :func:`repro.sim.runner.run_simulation`,
+    :func:`repro.service.server.run_service`,
+    :func:`repro.cluster.coordinator.run_cluster_service` and
+    :class:`repro.sim.lockstep.LockstepRunner`.  Omitting it (``obs=None``)
+    — or setting ``enabled=False`` — builds no recorder at all, which is the
+    zero-overhead path: simulation results are bit-for-bit identical to a
+    build without the observability layer.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  ``False`` makes the entry points behave exactly as
+        if no config had been passed (no recorder object is created).
+    trace:
+        Record per-event traces (query lifecycles, queue transitions,
+        disk seek/transfer segments, CPU service intervals, ABM decisions).
+        Exported via :mod:`repro.obs.export` as JSONL or Chrome trace JSON.
+    metrics:
+        Record metric timelines on the simulated clock (per-class queue
+        depth, active MPL, per-volume utilisation, ABM buffer-hit rate,
+        starved-query count) for the windowed drill-down renderers.
+    max_trace_events:
+        Hard cap on buffered trace events; past it, events are counted as
+        dropped instead of stored, bounding memory on runaway runs.
+    timeline_window_s:
+        Default window width (simulated seconds) used by the timeline
+        drill-down renderers; ``None`` picks ~12 windows over the run.
+    """
+
+    enabled: bool = True
+    trace: bool = True
+    metrics: bool = True
+    max_trace_events: int = 1_000_000
+    timeline_window_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_trace_events < 1:
+            raise ConfigurationError("max_trace_events must be >= 1")
+        if self.timeline_window_s is not None and self.timeline_window_s <= 0:
+            raise ConfigurationError("timeline_window_s must be positive")
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "obs_enabled": self.enabled,
+            "obs_trace": self.trace,
+            "obs_metrics": self.metrics,
+            "obs_max_trace_events": self.max_trace_events,
+        }
+
+
 #: The row-store (NSM/PAX) configuration of Section 5.1: 16 MB chunks,
 #: 64-chunk (1 GB) buffer pool, ~200 MB/s RAID, dual-core CPU.
 PAPER_NSM_SYSTEM = SystemConfig()

@@ -68,6 +68,58 @@ class _BaseABM:
         #: flight per volume, so the ABM must tolerate (and the pools already
         #: account for) several concurrent loads.
         self.pending_loads: int = 0
+        #: Optional flight recorder (:meth:`attach_observability`); ``None``
+        #: records nothing and costs one attribute test per decision.
+        self._obs = None
+        self._obs_pid = "service"
+        self._obs_starved_gauge = "service.abm.starved_queries"
+        self._obs_hit_gauge = "service.abm.hit_rate"
+        #: Last observed per-query starvation state (only maintained while a
+        #: recorder is attached; used to emit starvation *flips* only).
+        self._obs_starved: Dict[int, bool] = {}
+        self._obs_starved_count = 0
+
+    # -------------------------------------------------------- observability
+    def attach_observability(self, flight, process: str = "service") -> None:
+        """Emit load/evict/attach and starvation-flip events into ``flight``."""
+        self._obs = flight
+        self._obs_pid = process
+        self._obs_starved_gauge = f"{process}.abm.starved_queries"
+        self._obs_hit_gauge = f"{process}.abm.hit_rate"
+
+    def _obs_starvation_update(self, handle: CScanHandle, now: float) -> None:
+        """Emit an event when this handle's starvation state flipped."""
+        query_id = handle.query_id
+        starved = (not handle.finished) and self.is_starved(handle)
+        if self._obs_starved.get(query_id, False) == starved:
+            self._obs_starved[query_id] = starved
+            return
+        self._obs_starved[query_id] = starved
+        self._obs_starved_count += 1 if starved else -1
+        self._obs.instant(
+            "abm.starved" if starved else "abm.unstarved",
+            "abm", now, self._obs_pid, "abm", query=query_id,
+        )
+        self._obs.set_gauge(
+            self._obs_starved_gauge, now, self._obs_starved_count
+        )
+
+    def _obs_starvation_sweep(self, now: float) -> None:
+        """Re-check every registered handle (availability just changed)."""
+        for handle in self._handles.values():
+            self._obs_starvation_update(handle, now)
+
+    def _obs_forget(self, query_id: int, now: float) -> None:
+        if self._obs_starved.pop(query_id, False):
+            self._obs_starved_count -= 1
+            self._obs.set_gauge(
+                self._obs_starved_gauge, now, self._obs_starved_count
+            )
+
+    def _obs_hit_rate_gauge(self, now: float) -> None:
+        if self.buffer_hits > 0:
+            rate = max(0.0, 1.0 - self.io_requests / self.buffer_hits)
+            self._obs.set_gauge(self._obs_hit_gauge, now, rate)
 
     # ------------------------------------------------------------ queries
     def register(self, request: ScanRequest, now: float) -> CScanHandle:
@@ -82,6 +134,12 @@ class _BaseABM:
         if self.tracker is not None:
             self.tracker.on_register(handle)
         self._policy().on_register(handle, now)
+        if self._obs is not None:
+            self._obs.instant(
+                "abm.register", "abm", now, self._obs_pid, "abm",
+                query=request.query_id, chunks=request.num_chunks,
+            )
+            self._obs_starvation_update(handle, now)
         return handle
 
     def unregister(self, query_id: int, now: float) -> CScanHandle:
@@ -91,6 +149,12 @@ class _BaseABM:
         if self.tracker is not None:
             self.tracker.on_unregister(handle)
         self._policy().on_unregister(handle, now)
+        if self._obs is not None:
+            self._obs.instant(
+                "abm.unregister", "abm", now, self._obs_pid, "abm",
+                query=query_id,
+            )
+            self._obs_forget(query_id, now)
         return handle
 
     def _handle(self, query_id: int) -> CScanHandle:
@@ -294,6 +358,12 @@ class ActiveBufferManager(_BaseABM):
         self.pool.pin(chunk, now)
         handle.start_chunk(chunk, now)
         self.buffer_hits += 1
+        if self._obs is not None:
+            self._obs.instant(
+                "abm.attach", "abm", now, self._obs_pid, "abm",
+                query=query_id, chunk=chunk,
+            )
+            self._obs_hit_rate_gauge(now)
         return chunk
 
     def finish_chunk(self, query_id: int, now: float) -> int:
@@ -304,6 +374,8 @@ class ActiveBufferManager(_BaseABM):
         if self.tracker is not None:
             self.tracker.on_chunk_finished(handle, chunk)
         self.policy.on_chunk_consumed(handle, chunk, now)
+        if self._obs is not None:
+            self._obs_starvation_update(handle, now)
         return chunk
 
     def next_load(self, now: float) -> Optional[LoadOperation]:
@@ -333,6 +405,18 @@ class ActiveBufferManager(_BaseABM):
         self.io_requests += 1
         self.pending_loads += 1
         self.loads_triggered[query_id] += 1
+        if self._obs is not None:
+            if evicted:
+                self._obs.instant(
+                    "abm.evict", "abm", now, self._obs_pid, "abm",
+                    victims=list(evicted), for_chunk=chunk,
+                )
+                self._obs_starvation_sweep(now)
+            self._obs.instant(
+                "abm.load.issue", "abm", now, self._obs_pid, "abm",
+                chunk=chunk, query=query_id,
+                num_bytes=self.chunk_size(chunk),
+            )
         return LoadOperation(
             chunk=chunk,
             triggered_by=query_id,
@@ -347,11 +431,19 @@ class ActiveBufferManager(_BaseABM):
         self.pending_loads -= 1
         self.pool.complete_load(operation.chunk, now)
         self.policy.on_chunk_loaded(operation.chunk, now)
-        return [
+        woken = [
             handle.query_id
             for handle in self.interested_handles(operation.chunk)
             if handle.is_blocked
         ]
+        if self._obs is not None:
+            self._obs.instant(
+                "abm.load.complete", "abm", now, self._obs_pid, "abm",
+                chunk=operation.chunk, query=operation.triggered_by,
+                woken=len(woken),
+            )
+            self._obs_starvation_sweep(now)
+        return woken
 
 
 class DSMActiveBufferManager(_BaseABM):
@@ -478,6 +570,12 @@ class DSMActiveBufferManager(_BaseABM):
             self.pool.pin((chunk, column), now)
         handle.start_chunk(chunk, now)
         self.buffer_hits += 1
+        if self._obs is not None:
+            self._obs.instant(
+                "abm.attach", "abm", now, self._obs_pid, "abm",
+                query=query_id, chunk=chunk,
+            )
+            self._obs_hit_rate_gauge(now)
         return chunk
 
     def finish_chunk(self, query_id: int, now: float) -> int:
@@ -492,6 +590,8 @@ class DSMActiveBufferManager(_BaseABM):
         if self.tracker is not None:
             self.tracker.on_chunk_finished(handle, chunk)
         self.policy.on_chunk_consumed(handle, chunk, now)
+        if self._obs is not None:
+            self._obs_starvation_update(handle, now)
         return chunk
 
     def next_load(self, now: float) -> Optional[DSMLoadOperation]:
@@ -545,6 +645,20 @@ class DSMActiveBufferManager(_BaseABM):
         self.pending_loads += 1
         self.column_block_requests += len(blocks)
         self.loads_triggered[query_id] += 1
+        if self._obs is not None:
+            if evicted:
+                self._obs.instant(
+                    "abm.evict", "abm", now, self._obs_pid, "abm",
+                    victims=[list(victim) for victim in evicted],
+                    for_chunk=chunk,
+                )
+                self._obs_starvation_sweep(now)
+            self._obs.instant(
+                "abm.load.issue", "abm", now, self._obs_pid, "abm",
+                chunk=chunk, query=query_id,
+                columns=[block.column for block in blocks],
+                num_bytes=sum(block.num_bytes for block in blocks),
+            )
         return DSMLoadOperation(
             chunk=chunk,
             triggered_by=query_id,
@@ -564,4 +678,11 @@ class DSMActiveBufferManager(_BaseABM):
         for handle in self.interested_handles(operation.chunk):
             if handle.is_blocked and self.chunk_ready(handle, operation.chunk):
                 woken.append(handle.query_id)
+        if self._obs is not None:
+            self._obs.instant(
+                "abm.load.complete", "abm", now, self._obs_pid, "abm",
+                chunk=operation.chunk, query=operation.triggered_by,
+                woken=len(woken),
+            )
+            self._obs_starvation_sweep(now)
         return woken

@@ -14,7 +14,7 @@ paper's conclusions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.common.config import DiskConfig
 from repro.common.errors import SimulationError
@@ -40,6 +40,9 @@ class DiskModel:
     sequential_requests: int = 0
     bytes_transferred: int = 0
     busy_time: float = 0.0
+    #: Seek portion of the most recent :meth:`serve` (the flight recorder
+    #: splits each request into a seek and a transfer span from this).
+    last_seek_s: float = 0.0
 
     def is_sequential(self, chunk: int) -> bool:
         """Whether reading ``chunk`` next avoids the full positioning cost.
@@ -53,24 +56,36 @@ class DiskModel:
             chunk == self.last_chunk or chunk == self.last_chunk + 1
         )
 
-    def service_time(self, request: IORequest) -> float:
-        """Time to serve ``request`` given the current head position.
+    def service_segments(self, request: IORequest) -> "Tuple[float, float]":
+        """The ``(seek, transfer)`` portions of serving ``request`` now.
 
-        Does not mutate state; :meth:`serve` does.
+        Does not mutate state.  The seek segment is the positioning cost
+        (full average seek, or the track-to-track cost for sequential
+        access); the transfer segment is bytes over effective bandwidth.
         """
         seek = (
             self.config.sequential_seek_s
             if self.is_sequential(request.chunk)
             else self.config.avg_seek_s
         )
-        return seek + request.num_bytes / self.config.effective_bandwidth
+        return seek, request.num_bytes / self.config.effective_bandwidth
+
+    def service_time(self, request: IORequest) -> float:
+        """Time to serve ``request`` given the current head position.
+
+        Does not mutate state; :meth:`serve` does.
+        """
+        seek, transfer = self.service_segments(request)
+        return seek + transfer
 
     def serve(self, request: IORequest) -> float:
         """Serve a request: update statistics and return its service time."""
-        duration = self.service_time(request)
+        seek, transfer = self.service_segments(request)
+        duration = seek + transfer
         if self.is_sequential(request.chunk):
             self.sequential_requests += 1
         self.last_chunk = request.chunk
+        self.last_seek_s = seek
         self.requests_served += 1
         self.bytes_transferred += request.num_bytes
         self.busy_time += duration
@@ -83,6 +98,7 @@ class DiskModel:
         self.sequential_requests = 0
         self.bytes_transferred = 0
         self.busy_time = 0.0
+        self.last_seek_s = 0.0
 
     def sequential_fraction(self) -> float:
         """Fraction of served requests that avoided the full seek."""

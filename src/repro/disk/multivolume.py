@@ -21,7 +21,7 @@ position, and all requests serialise on that single head.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.config import DiskConfig
 from repro.disk.model import DiskModel
@@ -43,6 +43,22 @@ class MultiVolumeDisk:
         self.volumes: List[DiskModel] = [
             DiskModel(config) for _ in range(layout.num_volumes)
         ]
+        #: Optional flight recorder (:meth:`attach_observability`); ``None``
+        #: records nothing.
+        self._obs = None
+        self._obs_pid = "service"
+        self._obs_tids: List[str] = []
+
+    def attach_observability(self, flight, process: str = "service") -> None:
+        """Emit per-volume seek/transfer spans for every served request.
+
+        Spans are only recorded for :meth:`serve` calls that carry a ``now``
+        timestamp (the simulator's clock); timestamp-less callers keep the
+        pure timing behaviour.
+        """
+        self._obs = flight
+        self._obs_pid = process
+        self._obs_tids = [f"vol{volume}" for volume in range(self.num_volumes)]
 
     # ------------------------------------------------------------ routing
     @property
@@ -58,14 +74,35 @@ class MultiVolumeDisk:
         """Time the owning volume would need to serve ``request`` now."""
         return self._model_for(request.chunk).service_time(self._localise(request))
 
-    def serve(self, request: IORequest) -> float:
+    def serve(self, request: IORequest, now: Optional[float] = None) -> float:
         """Serve ``request`` on the volume owning its chunk.
 
         Returns the service time.  The caller is responsible for only having
         one request in service per volume at a time (the volume has a single
         head); the simulator enforces this with per-volume in-flight slots.
+        ``now`` (the request's start time on the simulated clock) is only
+        used to timestamp flight-recorder spans; it never affects timing.
         """
-        return self._model_for(request.chunk).serve(self._localise(request))
+        volume = self.layout.volume_of(request.chunk)
+        model = self.volumes[volume]
+        duration = model.serve(self._localise(request))
+        if self._obs is not None and now is not None:
+            seek = model.last_seek_s
+            tid = self._obs_tids[volume]
+            self._obs.complete(
+                "disk.seek", "disk", now, seek, self._obs_pid, tid,
+                chunk=request.chunk,
+                sequential=seek <= self.config.sequential_seek_s,
+            )
+            self._obs.complete(
+                "disk.transfer", "disk", now + seek, duration - seek,
+                self._obs_pid, tid,
+                chunk=request.chunk,
+                num_bytes=request.num_bytes,
+                column=request.column,
+                triggered_by=request.triggered_by,
+            )
+        return duration
 
     def _model_for(self, chunk: int) -> DiskModel:
         return self.volumes[self.layout.volume_of(chunk)]

@@ -9,7 +9,10 @@
 * :mod:`repro.metrics.report` -- plain-text rendering of those statistics in
   the paper's table layout (used by benchmarks and examples);
 * :mod:`repro.metrics.reference` -- the published TPC-H configurations of
-  Table 1 and the derived ratios quoted in Section 2.
+  Table 1 and the derived ratios quoted in Section 2;
+* :mod:`repro.metrics.timeline` -- validated ``(time, value)`` step
+  timelines with windowed aggregation and a text drill-down renderer
+  (shared by the MPL timelines and the flight recorder's metric series).
 """
 
 from repro.metrics.analytic import (
@@ -38,6 +41,12 @@ from repro.metrics.report import (
     render_query_table,
 )
 from repro.metrics.reference import TPCH_2006_RESULTS, TpchSystem, storage_cost_share
+from repro.metrics.timeline import (
+    Timeline,
+    default_window,
+    render_timeline,
+    validate_timeline,
+)
 
 __all__ = [
     "buffer_reuse_probability",
@@ -62,4 +71,8 @@ __all__ = [
     "TPCH_2006_RESULTS",
     "TpchSystem",
     "storage_cost_share",
+    "Timeline",
+    "default_window",
+    "render_timeline",
+    "validate_timeline",
 ]

@@ -1,0 +1,94 @@
+"""Flight recorder: tracing, metric timelines and scheduler self-profiling.
+
+The observability layer of the repo.  Everything here is opt-in: the run
+entry points (:func:`repro.sim.runner.run_simulation`,
+:func:`repro.service.server.run_service`,
+:func:`repro.cluster.coordinator.run_cluster_service`) take an ``obs``
+argument — an :class:`~repro.common.config.ObservabilityConfig` or a
+pre-built :class:`FlightRecorder` — and with ``obs=None`` (the default) no
+recorder exists and simulation outcomes are bit-for-bit identical to the
+uninstrumented code.
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.recorder` -- typed trace events
+  on the simulated clock, buffered by the :class:`FlightRecorder`;
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms sampled on the
+  shared clock (queue depth, MPL, volume utilisation, hit rate, ...);
+* :mod:`repro.obs.profile` -- :class:`SchedulerProfile`, the per-phase
+  wall-clock breakdown of the event core;
+* :mod:`repro.obs.export` -- JSONL and Perfetto-loadable Chrome trace-event
+  JSON exporters plus a structural validator.
+"""
+
+from typing import Optional
+
+from repro.metrics.timeline import default_window, render_timeline
+from repro.obs.events import TraceEvent
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    PhaseStats,
+    SchedulerProfile,
+    render_scheduler_profile,
+)
+from repro.obs.recorder import (
+    FlightRecorder,
+    ObservabilityLike,
+    TraceRecorder,
+    build_flight_recorder,
+)
+
+
+def render_run_timelines(
+    flight: FlightRecorder,
+    t_end: Optional[float] = None,
+    window_s: Optional[float] = None,
+    title: str = "Run timelines",
+) -> str:
+    """Drill-down view of a traced run: every metric series, windowed.
+
+    One row per time window, one column per recorded series (queue depths,
+    MPL, volume utilisation, hit rate, starvation count), each cell the
+    time-weighted mean (and peak) over the window — enough to localise an
+    SLO violation to a window and component.  Respects the
+    ``timeline_window_s`` knob of the recorder's config.
+    """
+    if flight.metrics is None:
+        return "(metrics recording was disabled)"
+    series = {
+        name: flight.metrics.series(name) for name in flight.metrics.names()
+    }
+    if window_s is None:
+        window_s = flight.config.timeline_window_s
+    return render_timeline(series, window_s=window_s, t_end=t_end, title=title)
+
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "FlightRecorder",
+    "ObservabilityLike",
+    "build_flight_recorder",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SchedulerProfile",
+    "PhaseStats",
+    "render_scheduler_profile",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "render_run_timelines",
+    "render_timeline",
+    "default_window",
+]

@@ -1,0 +1,142 @@
+"""Structured self-profiling of the event core.
+
+PR 3 made scheduling sublinear; the evidence so far was two scalars on
+:class:`~repro.sim.results.RunResult` (``scheduling_seconds`` /
+``scheduling_calls``).  :class:`SchedulerProfile` breaks that wall-clock
+down per event-core phase — ``select_chunk``, ``next_load``,
+``complete_load``, ``finish_chunk``, ``register``, ``unregister`` — so a
+regression can be localised to the decision that got slower, and adds the
+flight recorder's own overhead so traced benchmark numbers stay honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.metrics.report import format_table
+
+#: Event-core phases in presentation order.
+PHASES = (
+    "register",
+    "select_chunk",
+    "next_load",
+    "complete_load",
+    "finish_chunk",
+    "unregister",
+)
+
+
+@dataclass
+class PhaseStats:
+    """Wall-clock accumulator for one event-core phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def per_call_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+    def merged(self, other: "PhaseStats") -> "PhaseStats":
+        return PhaseStats(self.calls + other.calls, self.seconds + other.seconds)
+
+
+@dataclass
+class SchedulerProfile:
+    """Per-phase wall-clock breakdown of one (or several merged) runs."""
+
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    recorder_overhead_seconds: float = 0.0
+
+    @property
+    def total_calls(self) -> int:
+        return sum(stats.calls for stats in self.phases.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stats.seconds for stats in self.phases.values())
+
+    @property
+    def per_decision_seconds(self) -> float:
+        calls = self.total_calls
+        return self.total_seconds / calls if calls else 0.0
+
+    def phase(self, name: str) -> PhaseStats:
+        return self.phases.get(name, PhaseStats())
+
+    @staticmethod
+    def from_counts(
+        calls: Dict[str, int],
+        seconds: Dict[str, float],
+        recorder_overhead_seconds: float = 0.0,
+    ) -> "SchedulerProfile":
+        phases = {
+            name: PhaseStats(calls.get(name, 0), seconds.get(name, 0.0))
+            for name in set(calls) | set(seconds)
+        }
+        return SchedulerProfile(phases, recorder_overhead_seconds)
+
+    @staticmethod
+    def merge(profiles: Iterable["SchedulerProfile"]) -> "SchedulerProfile":
+        """Aggregate shard profiles into one cluster-level profile."""
+        merged: Dict[str, PhaseStats] = {}
+        overhead = 0.0
+        for profile in profiles:
+            overhead += profile.recorder_overhead_seconds
+            for name, stats in profile.phases.items():
+                merged[name] = merged.get(name, PhaseStats()).merged(stats)
+        return SchedulerProfile(merged, overhead)
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "total_calls": self.total_calls,
+            "total_seconds": self.total_seconds,
+            "per_decision_seconds": self.per_decision_seconds,
+            "recorder_overhead_seconds": self.recorder_overhead_seconds,
+            "phases": {
+                name: {
+                    "calls": stats.calls,
+                    "seconds": stats.seconds,
+                    "per_call_seconds": stats.per_call_seconds,
+                }
+                for name, stats in sorted(self.phases.items())
+            },
+        }
+        return payload
+
+
+def _ordered_phases(profile: SchedulerProfile) -> List[Tuple[str, PhaseStats]]:
+    ordered = [(name, profile.phases[name]) for name in PHASES
+               if name in profile.phases]
+    extras = sorted(set(profile.phases) - set(PHASES))
+    ordered.extend((name, profile.phases[name]) for name in extras)
+    return ordered
+
+
+def render_scheduler_profile(
+    profile: SchedulerProfile, title: str = "Scheduler profile"
+) -> str:
+    """Text table: one row per phase plus a total row."""
+    rows = []
+    for name, stats in _ordered_phases(profile):
+        rows.append([
+            name,
+            str(stats.calls),
+            f"{stats.seconds * 1e3:.3f}",
+            f"{stats.per_call_seconds * 1e6:.3f}",
+        ])
+    rows.append([
+        "total",
+        str(profile.total_calls),
+        f"{profile.total_seconds * 1e3:.3f}",
+        f"{profile.per_decision_seconds * 1e6:.3f}",
+    ])
+    if profile.recorder_overhead_seconds:
+        rows.append([
+            "recorder overhead", "-",
+            f"{profile.recorder_overhead_seconds * 1e3:.3f}", "-",
+        ])
+    return format_table(
+        ["phase", "calls", "total ms", "per-call µs"], rows, title=title
+    )

@@ -1,0 +1,272 @@
+"""The flight recorder: bounded trace buffer + metrics registry.
+
+:class:`TraceRecorder` is an append-only, bounded buffer of
+:class:`~repro.obs.events.TraceEvent` records.  :class:`FlightRecorder`
+bundles a trace recorder with a :class:`~repro.obs.metrics.MetricsRegistry`
+and is the single handle threaded through the stack: the front door,
+admission controller, cluster coordinator, event core, disk models and ABMs
+all hold an ``Optional[FlightRecorder]`` and guard every emission with a
+``None`` check, so a disabled recorder costs one attribute test per
+potential event and changes no simulation state whatsoever.
+
+The recorder also accounts for its own cost: one emission in every
+``_OVERHEAD_SAMPLE`` is wall-clock measured and scaled up into
+:attr:`FlightRecorder.overhead_seconds`, so benchmark runs can report
+tracing overhead honestly without paying two clock reads per event.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import List, Optional, Union
+
+from repro.common.config import ObservabilityConfig
+from repro.obs.events import (
+    PH_ASYNC_BEGIN,
+    PH_ASYNC_END,
+    PH_COMPLETE,
+    PH_INSTANT,
+    TraceEvent,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TraceRecorder:
+    """Bounded, append-only buffer of trace events.
+
+    Events past ``max_events`` are counted in :attr:`dropped` instead of
+    stored, so a runaway run degrades to a truncated trace rather than
+    unbounded memory growth.
+    """
+
+    __slots__ = ("events", "max_events", "dropped")
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    def instant(self, name: str, cat: str, ts: float, pid: str, tid: str,
+                **args: object) -> None:
+        self.emit(TraceEvent(name=name, cat=cat, ph=PH_INSTANT, ts=ts,
+                             pid=pid, tid=tid, args=args))
+
+    def complete(self, name: str, cat: str, ts: float, dur: float, pid: str,
+                 tid: str, **args: object) -> None:
+        self.emit(TraceEvent(name=name, cat=cat, ph=PH_COMPLETE, ts=ts,
+                             dur=dur, pid=pid, tid=tid, args=args))
+
+    def async_begin(self, name: str, cat: str, ts: float, id: int, pid: str,
+                    tid: str, **args: object) -> None:
+        self.emit(TraceEvent(name=name, cat=cat, ph=PH_ASYNC_BEGIN, ts=ts,
+                             id=id, pid=pid, tid=tid, args=args))
+
+    def async_end(self, name: str, cat: str, ts: float, id: int, pid: str,
+                  tid: str, **args: object) -> None:
+        self.emit(TraceEvent(name=name, cat=cat, ph=PH_ASYNC_END, ts=ts,
+                             id=id, pid=pid, tid=tid, args=args))
+
+
+#: One emission in every this-many is wall-clock measured (and scaled up)
+#: for the overhead accounting; the rest skip the clock reads entirely.
+_OVERHEAD_SAMPLE = 16
+
+
+class FlightRecorder:
+    """One recorder per run: trace events + metric timelines + overhead.
+
+    Built from an :class:`~repro.common.config.ObservabilityConfig`; either
+    half (tracing, metrics) can be switched off independently, in which case
+    the corresponding attribute is ``None`` and the convenience emitters
+    below become no-ops.
+
+    :attr:`overhead_seconds` is a sampled estimate: every
+    ``_OVERHEAD_SAMPLE``-th emission is timed and counted at the sampling
+    weight, which keeps the recorder itself cheap enough to stay within the
+    traced-run overhead budget on small runs.
+    """
+
+    __slots__ = ("config", "trace", "metrics", "overhead_seconds", "_emissions")
+
+    def __init__(self, config: Optional[ObservabilityConfig] = None) -> None:
+        self.config = config if config is not None else ObservabilityConfig()
+        self.trace: Optional[TraceRecorder] = (
+            TraceRecorder(self.config.max_trace_events)
+            if self.config.trace else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self.config.metrics else None
+        )
+        #: Wall-clock seconds spent inside the recorder itself (sampled).
+        self.overhead_seconds = 0.0
+        self._emissions = 0
+
+    # -- trace emitters (no-ops when tracing is off) ---------------------
+
+    def instant(self, name: str, cat: str, ts: float, pid: str, tid: str,
+                **args: object) -> None:
+        trace = self.trace
+        if trace is None:
+            return
+        self._emissions += 1
+        if self._emissions % _OVERHEAD_SAMPLE:
+            trace.emit(TraceEvent(name, cat, PH_INSTANT, ts, pid, tid, args=args))
+        else:
+            started = _time.perf_counter()
+            trace.emit(TraceEvent(name, cat, PH_INSTANT, ts, pid, tid, args=args))
+            self.overhead_seconds += (
+                (_time.perf_counter() - started) * _OVERHEAD_SAMPLE
+            )
+
+    def complete(self, name: str, cat: str, ts: float, dur: float, pid: str,
+                 tid: str, **args: object) -> None:
+        trace = self.trace
+        if trace is None:
+            return
+        self._emissions += 1
+        if self._emissions % _OVERHEAD_SAMPLE:
+            trace.emit(TraceEvent(name, cat, PH_COMPLETE, ts, pid, tid,
+                                  dur=dur, args=args))
+        else:
+            started = _time.perf_counter()
+            trace.emit(TraceEvent(name, cat, PH_COMPLETE, ts, pid, tid,
+                                  dur=dur, args=args))
+            self.overhead_seconds += (
+                (_time.perf_counter() - started) * _OVERHEAD_SAMPLE
+            )
+
+    def async_begin(self, name: str, cat: str, ts: float, id: int, pid: str,
+                    tid: str, **args: object) -> None:
+        trace = self.trace
+        if trace is None:
+            return
+        self._emissions += 1
+        if self._emissions % _OVERHEAD_SAMPLE:
+            trace.emit(TraceEvent(name, cat, PH_ASYNC_BEGIN, ts, pid, tid,
+                                  id=id, args=args))
+        else:
+            started = _time.perf_counter()
+            trace.emit(TraceEvent(name, cat, PH_ASYNC_BEGIN, ts, pid, tid,
+                                  id=id, args=args))
+            self.overhead_seconds += (
+                (_time.perf_counter() - started) * _OVERHEAD_SAMPLE
+            )
+
+    def async_end(self, name: str, cat: str, ts: float, id: int, pid: str,
+                  tid: str, **args: object) -> None:
+        trace = self.trace
+        if trace is None:
+            return
+        self._emissions += 1
+        if self._emissions % _OVERHEAD_SAMPLE:
+            trace.emit(TraceEvent(name, cat, PH_ASYNC_END, ts, pid, tid,
+                                  id=id, args=args))
+        else:
+            started = _time.perf_counter()
+            trace.emit(TraceEvent(name, cat, PH_ASYNC_END, ts, pid, tid,
+                                  id=id, args=args))
+            self.overhead_seconds += (
+                (_time.perf_counter() - started) * _OVERHEAD_SAMPLE
+            )
+
+    # -- metric emitters (no-ops when metrics are off) -------------------
+
+    def set_gauge(self, name: str, now: float, value: float) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        self._emissions += 1
+        if self._emissions % _OVERHEAD_SAMPLE:
+            metrics.gauge(name).set(now, value)
+        else:
+            started = _time.perf_counter()
+            metrics.gauge(name).set(now, value)
+            self.overhead_seconds += (
+                (_time.perf_counter() - started) * _OVERHEAD_SAMPLE
+            )
+
+    def inc_counter(self, name: str, now: float, delta: float = 1.0) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        self._emissions += 1
+        if self._emissions % _OVERHEAD_SAMPLE:
+            metrics.counter(name).inc(now, delta)
+        else:
+            started = _time.perf_counter()
+            metrics.counter(name).inc(now, delta)
+            self.overhead_seconds += (
+                (_time.perf_counter() - started) * _OVERHEAD_SAMPLE
+            )
+
+    def observe(self, name: str, now: float, value: float) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        self._emissions += 1
+        if self._emissions % _OVERHEAD_SAMPLE:
+            metrics.histogram(name).observe(now, value)
+        else:
+            started = _time.perf_counter()
+            metrics.histogram(name).observe(now, value)
+            self.overhead_seconds += (
+                (_time.perf_counter() - started) * _OVERHEAD_SAMPLE
+            )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded trace events (empty when tracing is off)."""
+        return [] if self.trace is None else self.trace.events
+
+    def events_named(self, name: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.name == name]
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable one-liners about what the recorder captured."""
+        lines = []
+        if self.trace is not None:
+            detail = f"{len(self.trace.events)} trace events"
+            if self.trace.dropped:
+                detail += f" ({self.trace.dropped} dropped at cap)"
+            lines.append(detail)
+        if self.metrics is not None:
+            lines.append(f"{len(self.metrics.names())} metric series")
+        lines.append(f"recorder overhead {self.overhead_seconds * 1e3:.2f} ms")
+        return lines
+
+
+#: Anything the entry points accept as an observability argument.
+ObservabilityLike = Union[ObservabilityConfig, FlightRecorder, None]
+
+
+def build_flight_recorder(obs: ObservabilityLike) -> Optional[FlightRecorder]:
+    """Normalise the ``obs`` argument of the run entry points.
+
+    ``None`` (or a disabled config) yields ``None`` — the zero-overhead
+    path.  A config builds a fresh recorder; an existing
+    :class:`FlightRecorder` is passed through so one recorder can span
+    multiple runs (the cluster path shares one across shards).
+    """
+    if obs is None:
+        return None
+    if isinstance(obs, FlightRecorder):
+        return obs
+    if isinstance(obs, ObservabilityConfig):
+        if not obs.enabled:
+            return None
+        return FlightRecorder(obs)
+    raise TypeError(
+        f"obs must be ObservabilityConfig, FlightRecorder or None, "
+        f"got {type(obs).__name__}"
+    )

@@ -42,6 +42,7 @@ from repro.common.config import (
     DEFAULT_QUERY_CLASS,
     ServiceConfig,
     WorkloadClassConfig,
+    canonical_discipline,
 )
 from repro.common.errors import ConfigurationError
 from repro.core.cscan import ScanRequest
@@ -193,6 +194,37 @@ class AdmissionController:
         #: counters instead of being mirrored.
         self.max_queue_len = 0
         self.shed: List[QueuedQuery] = []
+        #: Optional flight recorder (set via :meth:`attach_observability`).
+        #: ``None`` — the default — records nothing and costs one attribute
+        #: test per queue transition.
+        self._obs = None
+        self._obs_pid = "frontdoor"
+        self._obs_depth_gauges: Dict[str, str] = {}
+
+    # -------------------------------------------------------- observability
+    def attach_observability(self, flight, process: str = "frontdoor") -> None:
+        """Emit per-class queue-transition events into ``flight``.
+
+        Event labels always carry the canonical discipline name (``"sjf"``,
+        never the deprecated ``"priority"`` alias).
+        """
+        self._obs = flight
+        self._obs_pid = process
+        self._obs_depth_gauges = {
+            name: f"{process}.queue.{name}.depth" for name in self._order
+        }
+
+    def _obs_queue_event(self, name: str, queue: "_ClassQueue",
+                         entry: QueuedQuery, now: float, **extra: object) -> None:
+        self._obs.instant(
+            name, "admission", now, self._obs_pid, "admission",
+            query=entry.spec.query_id,
+            query_class=queue.name,
+            discipline=canonical_discipline(queue.config.discipline),
+            depth=len(queue),
+            **extra,
+        )
+        self._obs.set_gauge(self._obs_depth_gauges[queue.name], now, len(queue))
 
     # -------------------------------------------------------------- queries
     @property
@@ -280,24 +312,36 @@ class AdmissionController:
             self.active += 1
             queue.active += 1
             queue.admitted += 1
+            if self._obs is not None:
+                self._obs_queue_event(
+                    "queue.admit", queue, entry, submit_time, wait=0.0
+                )
             return entry
         if queue.capacity is None or len(queue) < queue.capacity:
             queue.push(entry)
             queue.max_queue_len = max(queue.max_queue_len, len(queue))
             self.max_queue_len = max(self.max_queue_len, self.queue_len)
+            if self._obs is not None:
+                self._obs_queue_event("queue.enqueue", queue, entry, submit_time)
             return None
         queue.shed_count += 1
         self.shed.append(entry)
+        if self._obs is not None:
+            self._obs_queue_event("queue.shed", queue, entry, submit_time)
         return None
 
-    def release(self, query_class: Optional[str] = None) -> List[QueuedQuery]:
+    def release(
+        self, query_class: Optional[str] = None, now: Optional[float] = None
+    ) -> List[QueuedQuery]:
         """Signal the completion of one admitted query of ``query_class``.
 
         Frees its MPL slot and admits as many queued queries as now fit
         (exactly one with a static limit; possibly several right after an
         adaptive limit increase), returned in admission order.  On a
         multi-class controller the completed query's class is required —
-        guessing would debit another class's MPL share.
+        guessing would debit another class's MPL share.  ``now`` only
+        timestamps the flight-recorder events of the resulting admissions;
+        it never affects the decision.
         """
         if self.active <= 0:
             raise ValueError("release() without a matching admission")
@@ -314,9 +358,9 @@ class AdmissionController:
             )
         queue.active -= 1
         self.active -= 1
-        return self.drain()
+        return self.drain(now=now)
 
-    def drain(self) -> List[QueuedQuery]:
+    def drain(self, now: Optional[float] = None) -> List[QueuedQuery]:
         """Admit queued queries while MPL capacity is free.
 
         Each freed slot goes to the non-empty class queue with the smallest
@@ -325,6 +369,7 @@ class AdmissionController:
         never idling a slot any class could use.  No-op while the limit is
         saturated — with a static limit the queues only ever drain through
         :meth:`release`, exactly like the historical single-queue controller.
+        ``now`` only timestamps flight-recorder events.
         """
         released: List[QueuedQuery] = []
         while self.active < self.limit:
@@ -337,6 +382,12 @@ class AdmissionController:
             queue.admitted += 1
             self.active += 1
             released.append(entry)
+            if self._obs is not None:
+                at = entry.submit_time if now is None else now
+                self._obs_queue_event(
+                    "queue.admit", queue, entry, at,
+                    wait=max(0.0, at - entry.submit_time),
+                )
         return released
 
     def _pick_queue(self) -> Optional[_ClassQueue]:

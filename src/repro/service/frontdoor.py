@@ -55,6 +55,7 @@ class ActiveQuery:
     submit_time: float
     admit_time: float
     num_chunks: int
+    name: str = ""
 
 
 @dataclass(frozen=True)
@@ -228,6 +229,7 @@ class FrontDoor:
         mpl_controller: Optional[MPLController] = None,
         loads_probe: Optional[Callable[[int], int]] = None,
         where: str = "service workload",
+        obs=None,
     ) -> None:
         validate_arrivals(arrivals, where)
         self._arrivals = list(arrivals)
@@ -235,6 +237,22 @@ class FrontDoor:
         self.admission = admission
         self.mpl = controller_for(admission, mpl_controller)
         self.admission.limit = self.mpl.limit()
+        #: Optional :class:`repro.obs.FlightRecorder`; ``None`` records
+        #: nothing (the zero-overhead default).
+        self._obs = obs
+        self._obs_pid = "frontdoor"
+        # Gauge names are precomputed so the per-completion hot path does
+        # no string formatting.
+        self._obs_mpl_limit = f"{self._obs_pid}.mpl.limit"
+        self._obs_mpl_active = f"{self._obs_pid}.mpl.active"
+        self._obs_hit_rate = f"{self._obs_pid}.hit_rate"
+        self._obs_latency = {
+            cls.name: f"{self._obs_pid}.latency.{cls.name}"
+            for cls in admission.classes
+        }
+        if obs is not None:
+            admission.attach_observability(obs, self._obs_pid)
+            obs.set_gauge(self._obs_mpl_limit, 0.0, self.admission.limit)
         #: Per-query probe: chunk loads the ABM(s) attributed to a completed
         #: query, summed at its completion so the hit-rate numerator and
         #: denominator cover the same (completed) queries — in-flight scans
@@ -275,6 +293,15 @@ class FrontDoor:
         ):
             arrival = self._arrivals[self._next]
             self._next += 1
+            if self._obs is not None:
+                self._obs.instant(
+                    "frontdoor.arrival", "frontdoor", arrival.time,
+                    self._obs_pid, "arrivals",
+                    query=arrival.spec.query_id,
+                    query_name=arrival.spec.name,
+                    query_class=self.admission.class_of(arrival.spec),
+                    chunks=arrival.spec.num_chunks,
+                )
             entry = self.admission.offer(arrival.spec, arrival.time)
             if entry is not None:
                 admitted.append(self._admit(entry, now))
@@ -286,7 +313,18 @@ class FrontDoor:
             submit_time=entry.submit_time,
             admit_time=now,
             num_chunks=entry.spec.num_chunks,
+            name=entry.spec.name,
         )
+        if self._obs is not None:
+            self._obs.async_begin(
+                entry.spec.name, "query", now, entry.spec.query_id,
+                self._obs_pid, "queries",
+                query_class=entry.query_class,
+                queue_wait=max(0.0, now - entry.submit_time),
+            )
+            self._obs.set_gauge(
+                self._obs_mpl_active, now, self.admission.active
+            )
         return entry
 
     # ----------------------------------------------------------- completion
@@ -317,10 +355,33 @@ class FrontDoor:
         self.mpl.on_completion(sample.end_to_end_latency, self.hit_rate(), now)
         new_limit = self.mpl.limit()
         if new_limit != self.admission.limit:
+            if self._obs is not None:
+                self._obs.instant(
+                    "frontdoor.mpl_change", "frontdoor", now,
+                    self._obs_pid, "admission",
+                    old=self.admission.limit, new=new_limit,
+                )
             self.admission.limit = new_limit
             self.mpl_timeline.append((now, new_limit))
-        released = self.admission.release(record.query_class)
-        return [self._admit(entry, now) for entry in released]
+        if self._obs is not None:
+            self._obs.async_end(
+                record.name, "query", now, query_id,
+                self._obs_pid, "queries",
+                end_to_end_latency=sample.end_to_end_latency,
+            )
+            self._obs.set_gauge(self._obs_mpl_limit, now, self.admission.limit)
+            self._obs.set_gauge(self._obs_hit_rate, now, self.hit_rate())
+            self._obs.observe(
+                self._obs_latency[record.query_class],
+                now, sample.end_to_end_latency,
+            )
+        released = self.admission.release(record.query_class, now=now)
+        admitted = [self._admit(entry, now) for entry in released]
+        if self._obs is not None:
+            self._obs.set_gauge(
+                self._obs_mpl_active, now, self.admission.active
+            )
+        return admitted
 
     def drained(self) -> bool:
         """``True`` once no future query can be admitted (arrivals exhausted

@@ -24,6 +24,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import ServiceConfig, SystemConfig
+from repro.metrics.timeline import validate_timeline
+from repro.obs.recorder import (
+    FlightRecorder,
+    ObservabilityLike,
+    build_flight_recorder,
+)
 from repro.service.admission import AdmissionController, layout_aware_job_size
 from repro.service.arrivals import Arrival, offered_rate
 from repro.service.frontdoor import FrontDoor, MPLController
@@ -42,12 +48,14 @@ class OpenSystemSource(QuerySource):
         admission: AdmissionController,
         mpl_controller: Optional[MPLController] = None,
         loads_probe: Optional[Callable[[int], int]] = None,
+        obs: Optional[FlightRecorder] = None,
     ) -> None:
         self.frontdoor = FrontDoor(
             arrivals,
             admission,
             mpl_controller=mpl_controller,
             loads_probe=loads_probe,
+            obs=obs,
         )
 
     @property
@@ -94,6 +102,10 @@ class ServiceResult:
     #: entry at time 0 for the static controller, one more entry per
     #: adjustment the adaptive controller made.
     mpl_timeline: Tuple[Tuple[float, int], ...] = field(default_factory=tuple)
+    #: The flight recorder that observed the run (``None`` when
+    #: observability was not requested); holds the trace events, the
+    #: metrics timelines and the recorder-overhead accounting.
+    obs: Optional[FlightRecorder] = None
 
     @property
     def final_mpl(self) -> int:
@@ -108,6 +120,7 @@ def run_service(
     service: ServiceConfig,
     record_trace: bool = False,
     mpl_controller: Optional[MPLController] = None,
+    obs: ObservabilityLike = None,
 ) -> ServiceResult:
     """Run one arrival sequence through the front door against one ABM.
 
@@ -116,7 +129,15 @@ def run_service(
     weight chunks by the pages of their requested columns); the MPL is
     governed by ``service.adaptive`` (or an explicitly passed controller),
     falling back to the static ``max_concurrent`` limit.
+
+    ``obs`` takes an :class:`repro.common.config.ObservabilityConfig` (or a
+    pre-built :class:`FlightRecorder` to share across runs) and threads one
+    flight recorder through the front door, the simulator, the ABM and the
+    disk volumes; the recorder comes back on ``ServiceResult.obs``.  The
+    default (``None``) records nothing and leaves the run bit-for-bit
+    identical to an unobserved one.
     """
+    recorder = build_flight_recorder(obs)
     admission = AdmissionController(
         service, job_size=layout_aware_job_size(getattr(abm, "layout", None))
     )
@@ -125,8 +146,11 @@ def run_service(
         admission,
         mpl_controller=mpl_controller,
         loads_probe=lambda query_id: abm.loads_triggered.get(query_id, 0),
+        obs=recorder,
     )
-    run = run_simulation(source, config, abm, record_trace=record_trace)
+    run = run_simulation(source, config, abm, record_trace=record_trace, obs=recorder)
+    mpl_timeline = tuple(source.frontdoor.mpl_timeline)
+    validate_timeline(mpl_timeline, where="service MPL timeline")
     slo = build_slo_report(
         run,
         offered=admission.offered,
@@ -140,7 +164,8 @@ def run_service(
         run=run,
         slo=slo,
         service=service,
-        mpl_timeline=tuple(source.frontdoor.mpl_timeline),
+        mpl_timeline=mpl_timeline,
+        obs=recorder,
     )
 
 

@@ -32,17 +32,41 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.common.errors import SimulationError
+from repro.obs.recorder import FlightRecorder, ObservabilityLike, build_flight_recorder
 from repro.sim.results import RunResult
 from repro.sim.runner import _EPS, _MAX_EVENTS, ScanSimulator
 
 
 class LockstepRunner:
-    """Advances several :class:`ScanSimulator` instances on one clock."""
+    """Advances several :class:`ScanSimulator` instances on one clock.
 
-    def __init__(self, simulators: Sequence[ScanSimulator]) -> None:
+    When ``obs`` is given (an :class:`ObservabilityConfig` or an existing
+    :class:`FlightRecorder`), one shared flight recorder is attached to every
+    simulator that does not already carry one, labelling shard ``i``'s events
+    with the process ``"shard{i}"`` — every shard's spans land in one trace
+    on the shared clock.
+    """
+
+    def __init__(
+        self,
+        simulators: Sequence[ScanSimulator],
+        obs: ObservabilityLike = None,
+    ) -> None:
         if not simulators:
             raise SimulationError("lockstep runner needs at least one simulator")
         self._simulators = list(simulators)
+        self.flight_recorder: Optional[FlightRecorder] = None
+        recorder = build_flight_recorder(obs)
+        if recorder is not None:
+            for index, simulator in enumerate(self._simulators):
+                if simulator.flight_recorder is None:
+                    simulator.attach_observability(recorder, f"shard{index}")
+            self.flight_recorder = recorder
+        else:
+            for simulator in self._simulators:
+                if simulator.flight_recorder is not None:
+                    self.flight_recorder = simulator.flight_recorder
+                    break
 
     def run(self) -> List[RunResult]:
         """Execute every simulator to completion; returns one result each."""

@@ -9,10 +9,13 @@ the number of I/O requests, plus the raw I/O trace for Figure 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.common.config import DEFAULT_QUERY_CLASS
 from repro.disk.trace import IOTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.profile import SchedulerProfile
 
 
 @dataclass
@@ -108,6 +111,11 @@ class RunResult:
     #: Fraction of disk requests that avoided a full seek (per-volume
     #: sequential or same-chunk accesses) — the seek-amortisation measure.
     disk_sequential_fraction: float = 0.0
+    #: Per-phase wall-clock breakdown of the scheduler
+    #: (:class:`repro.obs.profile.SchedulerProfile`): ``scheduling_seconds``
+    #: split over register / select_chunk / next_load / complete_load /
+    #: finish_chunk / unregister.  ``None`` for hand-built results.
+    scheduler_profile: Optional["SchedulerProfile"] = None
 
     # ------------------------------------------------------------ aggregates
     @property

@@ -46,6 +46,12 @@ from repro.core.ops import DSMLoadOperation, LoadOperation
 from repro.disk.multivolume import MultiVolumeDisk
 from repro.disk.request import IORequest, RequestKind
 from repro.disk.trace import IOTrace
+from repro.obs.profile import SchedulerProfile
+from repro.obs.recorder import (
+    FlightRecorder,
+    ObservabilityLike,
+    build_flight_recorder,
+)
 from repro.sim.results import QueryResult, RunResult
 from repro.sim.source import AdmittedQuery, ClosedStreamSource, QuerySource
 from repro.storage.volumes import VolumeLayout
@@ -76,6 +82,11 @@ class _QueryRun:
     #: Sequence number of the query's latest dispatch; stale heap entries
     #: (from a dispatch the query has since left) carry an older number.
     cpu_seq: int = -1
+    #: Simulated time of the latest dispatch and the chunk it attached
+    #: (only maintained while a flight recorder is attached; used to emit
+    #: the CPU service-interval span at chunk completion).
+    dispatch_time: float = 0.0
+    dispatch_chunk: Optional[int] = None
 
 
 class ScanSimulator:
@@ -87,6 +98,8 @@ class ScanSimulator:
         config: SystemConfig,
         abm: AnyABM,
         record_trace: bool = False,
+        obs: ObservabilityLike = None,
+        obs_process: str = "service",
     ) -> None:
         if isinstance(workload, QuerySource):
             self._source = workload
@@ -139,10 +152,48 @@ class ScanSimulator:
         self._finished = 0
         self._cpu_busy_area = 0.0
         self._scheduling_seconds = 0.0
+        #: Per-phase wall-clock accumulators behind ``scheduler_profile``
+        #: (always maintained; two dict updates per already-timed call).
+        self._phase_calls: Dict[str, int] = {}
+        self._phase_seconds: Dict[str, float] = {}
         #: Decision count the policy carried before this run (captured when
         #: the run starts), so a policy object reused across simulations
         #: reports per-run calls.
         self._scheduling_calls_base = 0
+        #: Optional flight recorder; ``None`` is the zero-overhead default
+        #: and leaves every simulation outcome bit-for-bit unchanged.
+        self._obs: Optional[FlightRecorder] = None
+        self._pid = obs_process
+        #: Per-volume utilisation gauge names, precomputed on attach so the
+        #: disk-completion hot path does no string formatting.
+        self._obs_vol_util: List[str] = []
+        recorder = build_flight_recorder(obs)
+        if recorder is not None:
+            self.attach_observability(recorder, obs_process)
+
+    # -------------------------------------------------------- observability
+    def attach_observability(
+        self, flight: FlightRecorder, process: str = "service"
+    ) -> None:
+        """Attach a flight recorder to this simulator and its components.
+
+        ``process`` labels every event's track (e.g. ``"shard2"`` under a
+        cluster); the disk and the ABM are attached with the same label so
+        one simulator's events group into one Perfetto process.
+        """
+        self._obs = flight
+        self._pid = process
+        self._obs_vol_util = [
+            f"{process}.vol{volume}.util"
+            for volume in range(self._disk.num_volumes)
+        ]
+        self._disk.attach_observability(flight, process)
+        self._abm.attach_observability(flight, process)
+
+    @property
+    def flight_recorder(self) -> Optional[FlightRecorder]:
+        """The attached flight recorder, if any."""
+        return self._obs
 
     # ------------------------------------------------------------------ API
     def run(self) -> RunResult:
@@ -295,8 +346,15 @@ class ScanSimulator:
                         triggered_by=operation.triggered_by,
                     )
             woken = self._timed(
-                lambda op=operation: self._abm.complete_load(op, self._now)
+                "complete_load",
+                lambda op=operation: self._abm.complete_load(op, self._now),
             )
+            if self._obs is not None:
+                self._obs.set_gauge(
+                    self._obs_vol_util[volume], self._now,
+                    self._disk.volumes[volume].busy_time / self._now
+                    if self._now > 0 else 0.0,
+                )
             for query_id in woken:
                 if query_id in self._blocked:
                     self._dispatch(query_id)
@@ -327,12 +385,17 @@ class ScanSimulator:
             self._start_query(admitted)
 
     # -------------------------------------------------------------- plumbing
-    def _timed(self, call: Callable):
+    def _timed(self, phase: str, call: Callable):
         started = time.perf_counter()
         try:
             return call()
         finally:
-            self._scheduling_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self._scheduling_seconds += elapsed
+            self._phase_calls[phase] = self._phase_calls.get(phase, 0) + 1
+            self._phase_seconds[phase] = (
+                self._phase_seconds.get(phase, 0.0) + elapsed
+            )
 
     def _kick_disk(self) -> None:
         # Volumes freed by a completion first pick up their queued operations.
@@ -348,7 +411,9 @@ class ScanSimulator:
         # single volume this degenerates to the classic one-load-at-a-time
         # loop: the first issued load makes the only volume busy.
         while len(self._inflight) < self._num_volumes:
-            operation = self._timed(lambda: self._abm.next_load(self._now))
+            operation = self._timed(
+                "next_load", lambda: self._abm.next_load(self._now)
+            )
             if operation is None:
                 return
             volume = self._disk.volume_of(operation.chunk)
@@ -361,7 +426,9 @@ class ScanSimulator:
         """Start serving one load operation on an idle volume."""
         if isinstance(operation, DSMLoadOperation):
             # Each column block is a separate physical request (different
-            # column files), so each pays its own positioning cost.
+            # column files), so each pays its own positioning cost.  The
+            # running ``duration`` prefix timestamps each block's recorder
+            # span at its actual start on the volume.
             duration = 0.0
             for block in operation.blocks:
                 duration += self._disk.serve(
@@ -371,7 +438,8 @@ class ScanSimulator:
                         kind=RequestKind.DSM_COLUMN_BLOCK,
                         column=block.column,
                         triggered_by=operation.triggered_by,
-                    )
+                    ),
+                    now=self._now + duration,
                 )
         else:
             duration = self._disk.serve(
@@ -380,7 +448,8 @@ class ScanSimulator:
                     num_bytes=operation.num_bytes,
                     kind=RequestKind.NSM_CHUNK,
                     triggered_by=operation.triggered_by,
-                )
+                ),
+                now=self._now,
             )
         self._inflight[volume] = operation
         done = self._now + duration
@@ -401,20 +470,37 @@ class ScanSimulator:
         )
         self._queries[spec.query_id] = run
         self._started += 1
-        self._timed(lambda: self._abm.register(spec, self._now))
+        if self._obs is not None:
+            self._obs.async_begin(
+                spec.name, "exec", self._now, spec.query_id,
+                self._pid, "queries",
+                chunks=spec.num_chunks, stream=admitted.stream,
+                query_class=spec.query_class,
+            )
+        self._timed("register", lambda: self._abm.register(spec, self._now))
         self._dispatch(spec.query_id)
 
     def _dispatch(self, query_id: int) -> None:
         run = self._queries[query_id]
-        chunk = self._timed(lambda: self._abm.select_chunk(query_id, self._now))
+        chunk = self._timed(
+            "select_chunk", lambda: self._abm.select_chunk(query_id, self._now)
+        )
         if chunk is None:
             run.blocked = True
             run.processing = False
             self._blocked.add(query_id)
             self._running.pop(query_id, None)
+            if self._obs is not None and not self._abm.handle(query_id).finished:
+                self._obs.instant(
+                    "exec.blocked", "exec", self._now, self._pid, "cpu",
+                    query=query_id,
+                )
             return
         run.blocked = False
         run.processing = True
+        if self._obs is not None:
+            run.dispatch_time = self._now
+            run.dispatch_chunk = chunk
         run.cpu_target = self._vtime + max(_EPS, run.spec.cpu_per_chunk)
         self._dispatch_seq += 1
         run.cpu_seq = self._dispatch_seq
@@ -427,7 +513,15 @@ class ScanSimulator:
     def _finish_chunk(self, query_id: int) -> None:
         run = self._running.pop(query_id)
         run.processing = False
-        self._timed(lambda: self._abm.finish_chunk(query_id, self._now))
+        if self._obs is not None:
+            self._obs.complete(
+                "cpu.chunk", "cpu", run.dispatch_time,
+                self._now - run.dispatch_time, self._pid, "cpu",
+                query=query_id, chunk=run.dispatch_chunk,
+            )
+        self._timed(
+            "finish_chunk", lambda: self._abm.finish_chunk(query_id, self._now)
+        )
         handle = self._abm.handle(query_id)
         if handle.finished:
             self._complete_query(query_id, run)
@@ -437,7 +531,15 @@ class ScanSimulator:
     def _complete_query(self, query_id: int, run: _QueryRun) -> None:
         handle = self._abm.handle(query_id)
         delivery_order = tuple(handle.delivery_order)
-        self._timed(lambda: self._abm.unregister(query_id, self._now))
+        self._timed(
+            "unregister", lambda: self._abm.unregister(query_id, self._now)
+        )
+        if self._obs is not None:
+            self._obs.async_end(
+                run.spec.name, "exec", self._now, query_id,
+                self._pid, "queries",
+                loads_triggered=self._abm.loads_triggered.get(query_id, 0),
+            )
         spec = run.spec
         self._query_results.append(
             QueryResult(
@@ -487,6 +589,9 @@ class ScanSimulator:
             disk_utilisation=self._disk.utilisation(total_time),
             volume_utilisation=self._disk.per_volume_utilisation(total_time),
             disk_sequential_fraction=self._disk.sequential_fraction(),
+            scheduler_profile=SchedulerProfile.from_counts(
+                dict(self._phase_calls), dict(self._phase_seconds)
+            ),
         )
 
 
@@ -495,9 +600,18 @@ def run_simulation(
     config: SystemConfig,
     abm: AnyABM,
     record_trace: bool = False,
+    obs: ObservabilityLike = None,
 ) -> RunResult:
-    """Run a workload (streams or a query source) against an ABM instance."""
-    simulator = ScanSimulator(workload, config, abm, record_trace=record_trace)
+    """Run a workload (streams or a query source) against an ABM instance.
+
+    ``obs`` optionally attaches a flight recorder
+    (:class:`~repro.common.config.ObservabilityConfig` or a pre-built
+    :class:`~repro.obs.FlightRecorder`); ``None`` records nothing and
+    leaves the result bit-for-bit identical.
+    """
+    simulator = ScanSimulator(
+        workload, config, abm, record_trace=record_trace, obs=obs
+    )
     return simulator.run()
 
 

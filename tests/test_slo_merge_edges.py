@@ -1,0 +1,133 @@
+"""Edge cases of merging per-shard SLO reports into one cluster report."""
+
+import pytest
+
+from repro.metrics.stats import LatencySummary
+from repro.service.slo import ClassSLO, SLOReport, merge_shard_slo_reports
+
+
+def _shard_report(
+    policy="relevance",
+    completed=4,
+    duration=10.0,
+    disk_utilisation=0.5,
+    volume_utilisation=(0.5,),
+    latencies=(1.0, 2.0, 3.0, 4.0),
+):
+    summary = LatencySummary.from_values(list(latencies))
+    return SLOReport(
+        policy=policy,
+        offered=completed,
+        admitted=completed,
+        completed=completed,
+        shed=0,
+        duration=duration,
+        offered_rate_qps=0.0,
+        max_queue_len=0,
+        latency=summary,
+        queue_wait=LatencySummary.from_values([0.0] * completed),
+        execution=summary,
+        disk_utilisation=disk_utilisation,
+        volume_utilisation=volume_utilisation,
+    )
+
+
+def _merge(shard_reports, end_to_end=(1.0, 2.0), **kwargs):
+    samples = list(end_to_end)
+    defaults = dict(
+        offered=len(samples),
+        admitted=len(samples),
+        completed=len(samples),
+        shed=0,
+    )
+    defaults.update(kwargs)
+    return merge_shard_slo_reports(
+        shard_reports,
+        end_to_end=samples,
+        queue_waits=[0.0] * len(samples),
+        executions=samples,
+        **defaults,
+    )
+
+
+class TestMergeEdgeCases:
+    def test_zero_shard_reports_raises(self):
+        with pytest.raises(ValueError, match="zero shard reports"):
+            merge_shard_slo_reports(
+                [], end_to_end=[], queue_waits=[], executions=[],
+                offered=0, admitted=0, completed=0, shed=0,
+            )
+
+    def test_one_shard_with_zero_completions(self):
+        # One shard served every chunk, the other saw no sub-queries at
+        # all: its empty report must not poison the merged percentiles or
+        # rescale the busy shard's utilisation.
+        busy = _shard_report(duration=10.0)
+        idle = _shard_report(
+            completed=0, duration=0.0, disk_utilisation=0.0,
+            volume_utilisation=(0.0,), latencies=(),
+        )
+        merged = _merge([busy, idle], end_to_end=(1.0, 2.0, 3.0, 4.0),
+                        offered=4, admitted=4, completed=4)
+        assert merged.duration == 10.0
+        assert merged.completed == 4
+        # busy volume keeps its utilisation (scale 1.0), idle contributes 0.
+        assert merged.volume_utilisation == (0.5, 0.0)
+        assert merged.disk_utilisation == pytest.approx(0.25)
+        assert merged.latency.count == 4
+
+    def test_single_sample_percentile_slices(self):
+        # A single completion: every percentile of the merged distribution
+        # collapses to that sample instead of interpolating off the end.
+        merged = _merge(
+            [_shard_report(completed=1, latencies=(2.5,))],
+            end_to_end=(2.5,), offered=1, admitted=1, completed=1,
+        )
+        assert merged.latency.count == 1
+        assert merged.latency.p50 == 2.5
+        assert merged.latency.p95 == 2.5
+        assert merged.latency.p99 == 2.5
+        assert merged.latency.maximum == 2.5
+
+    def test_empty_classes_merge(self):
+        # Per-shard reports never carry class slices; a merge without
+        # front-door classes must yield an SLO report whose as_dict() has
+        # no class_* keys rather than failing.
+        merged = _merge([_shard_report(), _shard_report()], classes=())
+        assert merged.classes == ()
+        assert not any(key.startswith("class_") for key in merged.as_dict())
+
+    def test_classes_pass_through_merge(self):
+        summary = LatencySummary.from_values([1.0])
+        slice_ = ClassSLO(
+            query_class="interactive", weight=1.0, offered=1, admitted=1,
+            completed=1, shed=0, max_queue_len=0, latency=summary,
+            queue_wait=summary, execution=summary,
+        )
+        merged = _merge([_shard_report()], classes=(slice_,))
+        assert merged.class_report("interactive") is slice_
+        assert "class_interactive_latency_p95" in merged.as_dict()
+
+    def test_short_shard_utilisation_rescaled_to_makespan(self):
+        # A shard that finished in half the makespan was idle for the rest:
+        # its volume busy-fraction halves in the merged report.
+        long = _shard_report(duration=10.0, disk_utilisation=0.8,
+                             volume_utilisation=(0.8,))
+        short = _shard_report(duration=5.0, disk_utilisation=0.6,
+                              volume_utilisation=(0.6,))
+        merged = _merge([long, short])
+        assert merged.duration == 10.0
+        assert merged.volume_utilisation == pytest.approx((0.8, 0.3))
+        # busy-volume-seconds: 0.8*10 + 0.6*5 = 11 over 2 volumes * 10 s.
+        assert merged.disk_utilisation == pytest.approx(0.55)
+
+    def test_single_shard_merge_preserves_report(self):
+        shard = _shard_report()
+        merged = _merge(
+            [shard], end_to_end=(1.0, 2.0, 3.0, 4.0),
+            offered=4, admitted=4, completed=4,
+        )
+        assert merged.disk_utilisation == shard.disk_utilisation
+        assert merged.volume_utilisation == shard.volume_utilisation
+        assert merged.latency == shard.latency
+        assert merged.policy == shard.policy
