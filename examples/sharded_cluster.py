@@ -9,8 +9,10 @@ finishes; SLO reporting is gathered back into one cluster-level table.
 
 This example pushes the same overload at a 1-shard "cluster" (identical to
 the plain service) and a 4-shard cluster, prints the merged SLO tables and
-per-shard utilisation, and replays the exact same traffic from an on-disk
-trace file to show trace-driven runs reproduce the generator bit for bit.
+per-shard utilisation, replays the exact same traffic from an on-disk
+trace file to show trace-driven runs reproduce the generator bit for bit,
+and finally prices the coordinator in (CPU + NIC cost models from
+``repro.net``) to watch the front door itself become the bottleneck.
 
 Run with::
 
@@ -24,13 +26,16 @@ from repro.cluster import ShardMap, compare_cluster_policies
 from repro.common.config import (
     BufferConfig,
     ClusterConfig,
+    CoordinatorConfig,
     CpuConfig,
     DiskConfig,
+    NetworkConfig,
     SystemConfig,
 )
 from repro.common.units import KB, MB
 from repro.service import (
     poisson_arrivals,
+    render_coordinator_table,
     render_slo_table,
     render_volume_utilisation,
     replay_arrivals,
@@ -139,6 +144,50 @@ def main() -> None:
         f"p95 {from_trace.slo.latency.p95:.2f}s, "
         f"completed {from_trace.slo.completed}/{from_trace.slo.offered} — "
         "identical to the generated arrivals"
+    )
+
+    # So far the coordinator was infinitely fast.  Price it in: every
+    # admitted query pays classify + per-sub-query scatter CPU, every
+    # sub-query crosses the coordinator NIC twice.  Per-query coordinator
+    # work grows with the fan-out, so a wide cluster saturates the front
+    # door — the merged SLO report says so explicitly.
+    print("\nThe coordinator as a resource (deliberately slow, 4 shards):\n")
+    reports = []
+    for label, coordinator, network in (
+        ("free", CoordinatorConfig(), NetworkConfig()),
+        (
+            "finite",
+            CoordinatorConfig(
+                classify_s=0.02,
+                scatter_per_subquery_s=0.05,
+                gather_per_subquery_s=0.05,
+                merge_per_query_s=0.02,
+            ),
+            NetworkConfig(bandwidth_bytes_per_s=16 * MB,
+                          per_message_s=0.002),
+        ),
+    ):
+        cluster = ClusterConfig(shards=4, placement="range", mpl_per_shard=4,
+                                coordinator=coordinator, network=network)
+        outcome = compare_cluster_policies(
+            arrivals, config,
+            lambda policy: shard_abms(cluster, policy),
+            cluster, policies=("relevance",),
+        )["relevance"]
+        reports.append(outcome.slo)
+        print(
+            f"{label:>7} coordinator: p95 {outcome.slo.latency.p95:.2f}s, "
+            f"throughput {outcome.slo.throughput_qps:.2f} q/s"
+        )
+    print()
+    print(render_coordinator_table(reports))
+    coordinator_slo = reports[-1].coordinator
+    for warning in coordinator_slo.warnings:
+        print(f"  warning: {warning}")
+    print(
+        "\nThe free coordinator hides the front door; the finite one shows "
+        f"{100 * coordinator_slo.bottleneck_utilisation:.0f}% of it busy — "
+        "scale-out stops paying here, not at the shards."
     )
 
 

@@ -19,6 +19,11 @@ admission queue:
   :func:`run_cluster_service` / :func:`compare_cluster_policies` entry
   points producing a merged cluster :class:`repro.service.slo.SLOReport`.
 
+When :attr:`repro.common.config.ClusterConfig.models_coordinator` is set,
+the coordinator itself is a real resource: a :mod:`repro.net` CPU + NIC
+cost bundle delays scatter deliveries and gather completions, and the
+merged SLO report carries its utilisation and queue-delay warnings.
+
 A 1-shard cluster reproduces :func:`repro.service.run_service` bit for bit
 (same scheduling decisions, same SLO report) — pinned by
 ``tests/test_cluster_equivalence.py``.

@@ -20,6 +20,18 @@ cluster through its own :class:`ShardSource` (a
   front door — releasing its MPL slot, updating the adaptive controller,
   and possibly admitting (and scattering) the next queued queries.
 
+When the cluster configuration models the coordinator as a real resource
+(:attr:`repro.common.config.ClusterConfig.models_coordinator`), a
+:class:`repro.net.CoordinatorResources` bundle is threaded through both
+halves: admissions charge classify + per-sub-query scatter CPU, every
+scatter/gather message crosses the coordinator's NIC and the owning
+shard's NIC, and a query only completes once the coordinator's CPU has
+processed (and, for the last sub-query, merged) its gather message.
+Admission-to-shard-start and last-subquery-to-completion therefore gain
+modeled delay, and the coordinator can genuinely saturate.  With the
+default free configuration no bundle exists and the legacy instant
+scatter/gather path runs unchanged.
+
 A 1-shard cluster degenerates to exactly the single-simulator open-system
 service (:func:`repro.service.run_service`): every query has one sub-query
 identical to itself, every completion releases the front door immediately,
@@ -37,6 +49,7 @@ from repro.common.config import ClusterConfig, DEFAULT_QUERY_CLASS, SystemConfig
 from repro.common.errors import SimulationError
 from repro.cluster.shardmap import ShardMap
 from repro.metrics.timeline import validate_timeline
+from repro.net.resources import CoordinatorResources, CoordinatorSLO
 from repro.obs.profile import SchedulerProfile
 from repro.obs.recorder import (
     FlightRecorder,
@@ -126,6 +139,7 @@ class ClusterCoordinator:
         mpl_controller: Optional[MPLController] = None,
         loads_probe: Optional[Callable[[int], int]] = None,
         obs: Optional[FlightRecorder] = None,
+        resources: Optional[CoordinatorResources] = None,
     ) -> None:
         self.frontdoor = FrontDoor(
             arrivals,
@@ -139,6 +153,9 @@ class ClusterCoordinator:
         #: front-door process's ``cluster`` track.
         self._obs = obs
         self._obs_pid = "frontdoor"
+        #: Optional CPU/NIC cost bundle; ``None`` selects the legacy
+        #: free-coordinator path (instant scatter and gather).
+        self.resources = resources
         self.shard_map = shard_map
         #: Sub-queries scattered to each shard but not yet polled by it,
         #: as ``(release_time, admitted)`` in release order.
@@ -191,8 +208,17 @@ class ClusterCoordinator:
         this query), which is returned for immediate start — mirroring how
         the single-simulator service starts the released query in the same
         event.
+
+        With a modeled coordinator there is no immediate start: every
+        sub-query first pays classify + scatter CPU and then two NIC hops,
+        landing in the owning shard's pending buffer stamped with its
+        *delivery* time.
         """
         plan = self.shard_map.plan(entry.spec)
+        if not plan:
+            raise SimulationError(
+                f"query {entry.spec.query_id} planned into zero sub-queries"
+            )
         self._open[entry.spec.query_id] = _OpenQuery(
             submit_time=entry.submit_time,
             admit_time=now,
@@ -217,6 +243,26 @@ class ClusterCoordinator:
                 subqueries=len(plan),
             )
             self._obs.set_gauge("cluster.open_queries", now, float(len(self._open)))
+        if self.resources is not None:
+            # Classify + build the scatter messages on the coordinator CPU,
+            # then ship each sub-query over two NIC hops.  Per-shard
+            # delivery times are monotone across queries (the coordinator
+            # NIC serialises sends), so each pending deque stays sorted.
+            ready = self.resources.admit(
+                now, entry.spec.query_id, len(plan)
+            )
+            for shard, sub_spec in plan.items():
+                admitted = AdmittedQuery(
+                    spec=sub_spec,
+                    stream=NO_STREAM,
+                    submit_time=entry.submit_time,
+                )
+                self.subqueries_scattered[shard] += 1
+                delivered = self.resources.deliver_scatter(
+                    ready, shard, entry.spec.query_id
+                )
+                self._pending[shard].append((delivered, admitted))
+            return None
         direct: Optional[AdmittedQuery] = None
         for shard, sub_spec in plan.items():
             admitted = AdmittedQuery(
@@ -241,6 +287,12 @@ class ClusterCoordinator:
         its record is written and its completion is fed to the front door,
         which may admit the next queued queries — whose sub-queries for
         this same shard (if any) are returned for immediate start.
+
+        With a modeled coordinator every completion message pays two NIC
+        hops plus gather CPU, and the final one additionally pays the
+        merge, so the query completes at the coordinator's processing time
+        rather than the shard's event time (and nothing starts immediately
+        — released queries travel back through the scatter path).
         """
         open_query = self._open.get(query_id)
         if open_query is None:
@@ -252,6 +304,12 @@ class ClusterCoordinator:
                 f"query {query_id} completed on shard {shard} it never touched"
             )
         open_query.remaining -= 1
+        completion = now
+        if self.resources is not None:
+            arrived = self.resources.deliver_gather(now, shard, query_id)
+            completion = self.resources.process_gather(
+                arrived, query_id, final=open_query.remaining == 0
+            )
         if self._obs is not None:
             self._obs.instant(
                 "cluster.subquery.complete",
@@ -270,31 +328,38 @@ class ClusterCoordinator:
             self._obs.instant(
                 "cluster.gather",
                 "cluster",
-                now,
+                completion,
                 self._obs_pid,
                 "cluster",
                 query=query_id,
                 query_name=open_query.name,
                 query_class=open_query.query_class,
                 shards=list(open_query.shards),
-                end_to_end_latency=now - open_query.submit_time,
+                end_to_end_latency=completion - open_query.submit_time,
             )
-            self._obs.set_gauge("cluster.open_queries", now, float(len(self._open)))
+            self._obs.set_gauge(
+                "cluster.open_queries", completion, float(len(self._open))
+            )
         self.records.append(
             ClusterQueryRecord(
                 query_id=query_id,
                 name=open_query.name,
                 submit_time=open_query.submit_time,
                 admit_time=open_query.admit_time,
-                finish_time=now,
+                finish_time=completion,
                 num_chunks=open_query.num_chunks,
                 shards=open_query.shards,
                 query_class=open_query.query_class,
             )
         )
+        if completion > now:
+            # Arrivals that landed while the gather was in flight must be
+            # admitted before this query's MPL slot is released, so the
+            # front door sees events in chronological order.
+            self.pump(completion)
         started: List[AdmittedQuery] = []
-        for entry in self.frontdoor.on_complete(query_id, now):
-            direct = self._scatter(entry, now, direct_shard=shard)
+        for entry in self.frontdoor.on_complete(query_id, completion):
+            direct = self._scatter(entry, completion, direct_shard=shard)
             if direct is not None:
                 started.append(direct)
         return started
@@ -318,6 +383,17 @@ class ClusterCoordinator:
     def has_pending(self, shard: int) -> bool:
         """Whether ``shard`` still has buffered sub-queries to start."""
         return bool(self._pending[shard])
+
+    def earliest_in_flight(self) -> Optional[float]:
+        """Delivery time of the earliest undelivered sub-query message.
+
+        The :class:`repro.sim.lockstep.LockstepRunner` treats this as an
+        event of the min-frontier step: no shard clock may pass it.
+        """
+        times = [queue[0][0] for queue in self._pending if queue]
+        if not times:
+            return None
+        return min(times)
 
     def describe(self) -> Dict[str, object]:
         """Flat description of the cluster front door (for reports)."""
@@ -388,11 +464,25 @@ class ClusterResult:
     #: The flight recorder shared by the front door and every shard
     #: (``None`` when observability was not requested).
     obs: Optional[FlightRecorder] = None
+    #: Coordinator CPU/NIC accounting (``None`` unless the cluster
+    #: configuration models the coordinator as a real resource).
+    coordinator: Optional[CoordinatorSLO] = None
+    #: Validated ``(time, utilisation)`` timelines of the coordinator CPU,
+    #: coordinator NIC and each shard NIC (empty on the free path).
+    coordinator_timelines: Dict[str, Tuple[Tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
 
     @property
     def duration(self) -> float:
-        """Cluster makespan: the slowest shard's total time."""
-        return max((run.total_time for run in self.shard_runs), default=0.0)
+        """Cluster makespan: the slowest shard's total time, or the last
+        gather-merge when the modeled coordinator finishes later."""
+        latest = max((run.total_time for run in self.shard_runs), default=0.0)
+        if self.records:
+            latest = max(
+                latest, max(record.finish_time for record in self.records)
+            )
+        return latest
 
     @property
     def final_mpl(self) -> int:
@@ -449,6 +539,13 @@ def run_cluster_service(
             getattr(abms[0], "layout", None) if abms else None
         ),
     )
+    resources: Optional[CoordinatorResources] = None
+    if cluster.models_coordinator:
+        resources = CoordinatorResources(
+            cluster.coordinator, cluster.network, shard_map.num_shards
+        )
+        if recorder is not None:
+            resources.attach_observability(recorder)
     coordinator = ClusterCoordinator(
         arrivals,
         shard_map,
@@ -458,6 +555,7 @@ def run_cluster_service(
             abm.loads_triggered.get(query_id, 0) for abm in abms
         ),
         obs=recorder,
+        resources=resources,
     )
     simulators = [
         ScanSimulator(
@@ -465,7 +563,9 @@ def run_cluster_service(
         )
         for shard, abm in enumerate(abms)
     ]
-    shard_runs = LockstepRunner(simulators, obs=recorder).run()
+    shard_runs = LockstepRunner(
+        simulators, obs=recorder, message_source=coordinator
+    ).run()
 
     records = sorted(coordinator.records, key=lambda record: record.query_id)
     loads: Dict[int, int] = {}
@@ -488,6 +588,17 @@ def run_cluster_service(
         )
         for shard, run in enumerate(shard_runs)
     ]
+    coordinator_slo: Optional[CoordinatorSLO] = None
+    coordinator_duration: Optional[float] = None
+    coordinator_timelines: Dict[str, Tuple[Tuple[float, float], ...]] = {}
+    if resources is not None:
+        coordinator_duration = max(
+            [run.total_time for run in shard_runs]
+            + [record.finish_time for record in records],
+            default=0.0,
+        )
+        coordinator_slo = resources.report(coordinator_duration)
+        coordinator_timelines = resources.timelines()
     slo = merge_shard_slo_reports(
         shard_reports,
         end_to_end=[record.end_to_end_latency for record in records],
@@ -500,6 +611,8 @@ def run_cluster_service(
         max_queue_len=admission.max_queue_len,
         offered_rate_qps=rate,
         classes=coordinator.frontdoor.class_reports(),
+        coordinator=coordinator_slo,
+        duration=coordinator_duration,
     )
     mpl_timeline = tuple(coordinator.frontdoor.mpl_timeline)
     validate_timeline(mpl_timeline, where="cluster MPL timeline")
@@ -513,6 +626,8 @@ def run_cluster_service(
         records=records,
         mpl_timeline=mpl_timeline,
         obs=recorder,
+        coordinator=coordinator_slo,
+        coordinator_timelines=coordinator_timelines,
     )
 
 

@@ -35,6 +35,8 @@ from repro.common.config import (
     SystemConfig,
     ServiceConfig,
     ClusterConfig,
+    CoordinatorConfig,
+    NetworkConfig,
     WorkloadClassConfig,
     AdaptiveMPLConfig,
     ObservabilityConfig,
@@ -68,6 +70,8 @@ __all__ = [
     "SystemConfig",
     "ServiceConfig",
     "ClusterConfig",
+    "CoordinatorConfig",
+    "NetworkConfig",
     "WorkloadClassConfig",
     "AdaptiveMPLConfig",
     "ObservabilityConfig",

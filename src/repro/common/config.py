@@ -9,6 +9,8 @@ tests use smaller configurations for speed.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Tuple
 
@@ -223,8 +225,21 @@ def _inherits(value: object) -> bool:
 
 
 def canonical_discipline(discipline: str) -> str:
-    """Resolve deprecated discipline aliases (``"priority"`` -> ``"sjf"``)."""
-    return DEPRECATED_DISCIPLINES.get(discipline, discipline)
+    """Resolve deprecated discipline aliases (``"priority"`` -> ``"sjf"``).
+
+    Passing a deprecated alias emits a :class:`DeprecationWarning`; the
+    alias keeps working, but callers should migrate to the canonical name.
+    """
+    canonical = DEPRECATED_DISCIPLINES.get(discipline)
+    if canonical is None:
+        return discipline
+    warnings.warn(
+        f"admission discipline {discipline!r} is a deprecated alias for "
+        f"{canonical!r}; use {canonical!r} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return canonical
 
 
 def _validate_discipline(discipline: str, where: str) -> None:
@@ -478,6 +493,143 @@ class ServiceConfig:
 
 
 @dataclass(frozen=True)
+class CoordinatorConfig:
+    """CPU cost table of the cluster coordinator.
+
+    The defaults are all zero — a *free* coordinator — which reproduces the
+    historical behaviour bit for bit: no cost layer is built, admissions
+    scatter instantly and gathers complete at the shard's event time.  Any
+    non-zero cost turns the coordinator into a single-server
+    :class:`repro.net.SimCPU` on the shared clock.
+
+    Attributes
+    ----------
+    classify_s:
+        CPU seconds to classify/plan one admitted query (charged once per
+        query at admission).
+    scatter_per_subquery_s:
+        CPU seconds to build and enqueue one per-shard sub-query message.
+    gather_per_subquery_s:
+        CPU seconds to process one sub-query completion message.
+    merge_per_query_s:
+        Extra CPU seconds to merge the final result when a query's *last*
+        sub-query completion arrives.
+    queue_delay_warn_s:
+        Threshold above which the SLO report carries a coordinator
+        queue-delay warning.
+    """
+
+    classify_s: float = 0.0
+    scatter_per_subquery_s: float = 0.0
+    gather_per_subquery_s: float = 0.0
+    merge_per_query_s: float = 0.0
+    queue_delay_warn_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "classify_s",
+            "scatter_per_subquery_s",
+            "gather_per_subquery_s",
+            "merge_per_query_s",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0.0:
+                raise ConfigurationError(
+                    f"coordinator {name} must be finite and >= 0, got {value!r}"
+                )
+        if not math.isfinite(self.queue_delay_warn_s) or self.queue_delay_warn_s <= 0.0:
+            raise ConfigurationError(
+                f"queue_delay_warn_s must be finite and > 0, "
+                f"got {self.queue_delay_warn_s!r}"
+            )
+
+    @property
+    def is_free(self) -> bool:
+        """Whether every coordinator CPU cost is zero (the legacy model)."""
+        return (
+            self.classify_s == 0.0
+            and self.scatter_per_subquery_s == 0.0
+            and self.gather_per_subquery_s == 0.0
+            and self.merge_per_query_s == 0.0
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the cost table (for reports)."""
+        return {
+            "coordinator_classify_s": self.classify_s,
+            "coordinator_scatter_per_subquery_s": self.scatter_per_subquery_s,
+            "coordinator_gather_per_subquery_s": self.gather_per_subquery_s,
+            "coordinator_merge_per_query_s": self.merge_per_query_s,
+        }
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Cost model of the coordinator <-> shard message fabric.
+
+    The defaults describe a *free* network (infinite bandwidth, zero
+    per-message overhead), reproducing the historical instant-delivery
+    behaviour bit for bit.  Any finite bandwidth or non-zero overhead gives
+    the coordinator one :class:`repro.net.SimNIC` and each shard its own,
+    so every scatter/gather message crosses two queued links.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Link bandwidth of every NIC (``None`` = infinitely fast).
+    per_message_s:
+        Fixed per-message overhead on each NIC a message crosses.
+    scatter_message_bytes:
+        Size of one coordinator -> shard sub-query message.
+    gather_message_bytes:
+        Size of one shard -> coordinator completion message.
+    """
+
+    bandwidth_bytes_per_s: Optional[float] = None
+    per_message_s: float = 0.0
+    scatter_message_bytes: int = 16 * 1024
+    gather_message_bytes: int = 4 * 1024
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s is not None and (
+            not math.isfinite(self.bandwidth_bytes_per_s)
+            or self.bandwidth_bytes_per_s <= 0.0
+        ):
+            raise ConfigurationError(
+                f"bandwidth_bytes_per_s must be positive or None, "
+                f"got {self.bandwidth_bytes_per_s!r}"
+            )
+        if not math.isfinite(self.per_message_s) or self.per_message_s < 0.0:
+            raise ConfigurationError(
+                f"per_message_s must be finite and >= 0, got {self.per_message_s!r}"
+            )
+        for name in ("scatter_message_bytes", "gather_message_bytes"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"{name} must be a non-negative integer, got {value!r}"
+                )
+
+    @property
+    def is_free(self) -> bool:
+        """Whether messages cost nothing to deliver (the legacy model)."""
+        return self.bandwidth_bytes_per_s is None and self.per_message_s == 0.0
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the fabric (for reports)."""
+        return {
+            "network_bandwidth_bytes_per_s": (
+                "infinite"
+                if self.bandwidth_bytes_per_s is None
+                else self.bandwidth_bytes_per_s
+            ),
+            "network_per_message_s": self.per_message_s,
+            "network_scatter_message_bytes": self.scatter_message_bytes,
+            "network_gather_message_bytes": self.gather_message_bytes,
+        }
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Parameters of the sharded scatter-gather cluster layer.
 
@@ -510,6 +662,11 @@ class ClusterConfig:
     adaptive:
         Optional :class:`AdaptiveMPLConfig` tuning the cluster-wide MPL at
         run time (``cluster_mpl`` then only sets the starting MPL).
+    coordinator:
+        :class:`CoordinatorConfig` CPU cost table.  Free by default, which
+        keeps the historical instant-scatter behaviour.
+    network:
+        :class:`NetworkConfig` message-fabric costs.  Free by default.
     """
 
     shards: int = 1
@@ -519,6 +676,8 @@ class ClusterConfig:
     discipline: str = "fifo"
     classes: Tuple[WorkloadClassConfig, ...] = ()
     adaptive: Optional[AdaptiveMPLConfig] = None
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -540,11 +699,30 @@ class ClusterConfig:
         names = [cls.name for cls in self.classes]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate workload class names in {names}")
+        if not isinstance(self.coordinator, CoordinatorConfig):
+            raise ConfigurationError(
+                f"coordinator must be a CoordinatorConfig, "
+                f"got {type(self.coordinator).__name__}"
+            )
+        if not isinstance(self.network, NetworkConfig):
+            raise ConfigurationError(
+                f"network must be a NetworkConfig, "
+                f"got {type(self.network).__name__}"
+            )
 
     @property
     def cluster_mpl(self) -> int:
         """Cluster-wide cap on concurrently executing whole queries."""
         return self.shards * self.mpl_per_shard
+
+    @property
+    def models_coordinator(self) -> bool:
+        """Whether any coordinator CPU or network cost is non-zero.
+
+        ``False`` (the default) selects the legacy free-coordinator code
+        path, which the equivalence suite pins bit for bit.
+        """
+        return not (self.coordinator.is_free and self.network.is_free)
 
     def front_service(self) -> ServiceConfig:
         """The front admission queue expressed as a :class:`ServiceConfig`.
@@ -583,6 +761,9 @@ class ClusterConfig:
         if self.adaptive is not None:
             described["adaptive_mpl"] = True
             described["adaptive_target_p95_s"] = self.adaptive.target_p95_s
+        if self.models_coordinator:
+            described.update(self.coordinator.describe())
+            described.update(self.network.describe())
         return described
 
 

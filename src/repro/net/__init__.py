@@ -1,0 +1,24 @@
+"""Network + CPU cost layer for the cluster coordinator.
+
+Single-server queue models (:class:`SimCPU`, :class:`SimNIC`) on the
+shared simulated clock, bundled by :class:`CoordinatorResources` and
+reported through :class:`CoordinatorSLO`.  All costs default to zero, in
+which case the cluster layer never builds this machinery and behaves
+bit-for-bit as it did before the coordinator was modelled.
+"""
+
+from repro.net.cost import Charge, SimCPU, SimNIC
+from repro.net.resources import (
+    SATURATION_WARN,
+    CoordinatorResources,
+    CoordinatorSLO,
+)
+
+__all__ = [
+    "Charge",
+    "SimCPU",
+    "SimNIC",
+    "SATURATION_WARN",
+    "CoordinatorResources",
+    "CoordinatorSLO",
+]

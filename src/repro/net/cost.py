@@ -1,0 +1,179 @@
+"""Single-server cost models for the coordinator's CPU and NICs.
+
+The cluster layer inherited the paper's assumption that the scheduler is
+free: scatter, classification and gather-merge cost nothing, so the
+coordinator can never become the bottleneck no matter how many shards hang
+off it.  This module supplies the two primitives that retire that
+assumption — both are *single-server FIFO queues on the shared simulated
+clock*, in the style of the per-node ``cpu_cores`` + bandwidth-container
+model the cluster simulators in SNIPPETS.md use:
+
+* :class:`SimCPU` charges per-operation seconds from a cost table
+  (classify, scatter, gather, merge, ...).  Work arriving while the CPU is
+  busy queues behind the in-flight operation.
+* :class:`SimNIC` charges per-message seconds: a fixed per-message
+  overhead plus ``bytes / bandwidth`` serialisation time.  One NIC fronts
+  the coordinator and one fronts each shard, so a message crosses *two*
+  queues end to end.
+
+Both keep honest books — busy seconds, per-op/message counts, queue-delay
+extremes and a ``(time, utilisation)`` step timeline suitable for
+:func:`repro.metrics.timeline.validate_timeline` — because the point of
+modelling the coordinator is to be able to *blame* it in an SLO report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class Charge(NamedTuple):
+    """Outcome of one unit of work passing through a single-server queue."""
+
+    #: When the server actually began the work (``>= now``).
+    start: float
+    #: When the work finished; the caller's "ready" time.
+    done: float
+    #: Seconds the work waited behind earlier work (``start - now``).
+    queue_delay: float
+
+
+class _SingleServerQueue:
+    """Shared bookkeeping for one serially-used resource on the sim clock.
+
+    The queueing rule is the classic single-server recurrence: work
+    submitted at ``now`` starts at ``max(now, free_time)`` and runs for its
+    service seconds; ``free_time`` advances to the finish.  Because
+    ``free_time`` never decreases, finish times are monotone in submission
+    order even when callers' clocks are only *nearly* sorted (the lockstep
+    frontier), which keeps the utilisation timeline valid by construction.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Sim time at which the server next falls idle.
+        self.free_time = 0.0
+        #: Total seconds of service performed.
+        self.busy_seconds = 0.0
+        #: Units of work served.
+        self.charges = 0
+        #: Units that found the server busy and had to wait.
+        self.queued_charges = 0
+        self.total_queue_delay = 0.0
+        self.max_queue_delay = 0.0
+        #: ``(finish_time, cumulative utilisation)`` step points, one per
+        #: non-zero charge.  Monotone in time (see class docstring).
+        self.utilisation_timeline: List[Tuple[float, float]] = []
+
+    def _serve(self, now: float, seconds: float, what: str) -> Charge:
+        if not math.isfinite(now) or now < 0.0:
+            raise SimulationError(
+                f"{self.name}: {what} submitted at invalid time {now!r}"
+            )
+        if not math.isfinite(seconds) or seconds < 0.0:
+            raise SimulationError(
+                f"{self.name}: {what} has invalid service time {seconds!r}"
+            )
+        start = max(now, self.free_time)
+        done = start + seconds
+        delay = start - now
+        self.free_time = done
+        self.busy_seconds += seconds
+        self.charges += 1
+        if delay > 0.0:
+            self.queued_charges += 1
+            self.total_queue_delay += delay
+            if delay > self.max_queue_delay:
+                self.max_queue_delay = delay
+        if seconds > 0.0 and done > 0.0:
+            self.utilisation_timeline.append((done, self.busy_seconds / done))
+        return Charge(start=start, done=done, queue_delay=delay)
+
+    # ------------------------------------------------------------- reporting
+    def utilisation(self, duration: float) -> float:
+        """Fraction of ``duration`` the server spent busy."""
+        if duration <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / duration)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean wait over *all* served units (zero-wait units included)."""
+        if self.charges == 0:
+            return 0.0
+        return self.total_queue_delay / self.charges
+
+
+class SimCPU(_SingleServerQueue):
+    """The coordinator's CPU: per-op cost table on a single-server queue.
+
+    ``charge("scatter", now, seconds)`` runs one operation and returns its
+    :class:`Charge`; per-op counts and seconds are kept so a saturation
+    report can say *which* operation ate the core.
+    """
+
+    def __init__(self, name: str = "coordinator-cpu") -> None:
+        super().__init__(name)
+        self.op_counts: Dict[str, int] = {}
+        self.op_seconds: Dict[str, float] = {}
+
+    def charge(self, op: str, now: float, seconds: float) -> Charge:
+        """Run ``seconds`` of CPU work named ``op`` submitted at ``now``."""
+        charge = self._serve(now, seconds, f"op {op!r}")
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        self.op_seconds[op] = self.op_seconds.get(op, 0.0) + seconds
+        return charge
+
+
+class SimNIC(_SingleServerQueue):
+    """One network interface: per-message overhead plus serialisation time.
+
+    ``bandwidth_bytes_per_s=None`` means an infinitely fast link — only the
+    per-message overhead is charged.  A message crossing the cluster pays
+    the sender's NIC and then the receiver's NIC, each a separate queue.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth_bytes_per_s: Optional[float] = None,
+        per_message_s: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        if bandwidth_bytes_per_s is not None and (
+            not math.isfinite(bandwidth_bytes_per_s) or bandwidth_bytes_per_s <= 0.0
+        ):
+            raise SimulationError(
+                f"{name}: bandwidth must be positive, got {bandwidth_bytes_per_s!r}"
+            )
+        if not math.isfinite(per_message_s) or per_message_s < 0.0:
+            raise SimulationError(
+                f"{name}: per-message overhead must be >= 0, got {per_message_s!r}"
+            )
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.per_message_s = per_message_s
+        self.messages = 0
+        self.bytes_moved = 0
+
+    def message_seconds(self, num_bytes: int) -> float:
+        """Service time of one ``num_bytes`` message on this link."""
+        if num_bytes < 0:
+            raise SimulationError(
+                f"{self.name}: message size must be >= 0, got {num_bytes!r}"
+            )
+        seconds = self.per_message_s
+        if self.bandwidth_bytes_per_s is not None:
+            seconds += num_bytes / self.bandwidth_bytes_per_s
+        return seconds
+
+    def send(self, now: float, num_bytes: int) -> Charge:
+        """Put one message on the wire at ``now``; returns its charge."""
+        charge = self._serve(
+            now, self.message_seconds(num_bytes), f"{num_bytes}-byte message"
+        )
+        self.messages += 1
+        self.bytes_moved += num_bytes
+        return charge

@@ -60,6 +60,7 @@ from repro.service.slo import (
     build_slo_report,
     merge_shard_slo_reports,
     render_class_slo_table,
+    render_coordinator_table,
     render_slo_table,
     render_volume_utilisation,
 )
@@ -90,6 +91,7 @@ __all__ = [
     "build_slo_report",
     "merge_shard_slo_reports",
     "render_class_slo_table",
+    "render_coordinator_table",
     "render_slo_table",
     "render_volume_utilisation",
 ]

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.report import format_table
 from repro.metrics.stats import LatencySummary
+from repro.net.resources import CoordinatorSLO
 from repro.sim.results import RunResult
 
 
@@ -94,6 +95,12 @@ class SLOReport:
     #: Per-workload-class slices of the same run (empty for reports built
     #: without a front door, e.g. per-shard sub-query reports).
     classes: Tuple[ClassSLO, ...] = ()
+    #: Coordinator CPU/NIC accounting — only present on cluster reports
+    #: whose configuration models the coordinator as a real resource
+    #: (``None`` otherwise, including every single-node report, so frozen
+    #: equality with :func:`repro.service.run_service` reports still holds
+    #: on the zero-cost path).
+    coordinator: Optional[CoordinatorSLO] = None
 
     @property
     def num_volumes(self) -> int:
@@ -149,6 +156,14 @@ class SLOReport:
                 for report in self.classes
                 for key, value in report.as_dict().items()
             },
+            **(
+                {
+                    f"coordinator_{key}": value
+                    for key, value in self.coordinator.as_dict().items()
+                }
+                if self.coordinator is not None
+                else {}
+            ),
         }
 
     def class_report(self, query_class: str) -> ClassSLO:
@@ -215,6 +230,8 @@ def merge_shard_slo_reports(
     max_queue_len: int = 0,
     offered_rate_qps: float = 0.0,
     classes: Tuple[ClassSLO, ...] = (),
+    coordinator: Optional[CoordinatorSLO] = None,
+    duration: Optional[float] = None,
 ) -> SLOReport:
     """Gather per-shard reports into one cluster-level :class:`SLOReport`.
 
@@ -234,10 +251,16 @@ def merge_shard_slo_reports(
     With a single shard every merged quantity reduces to the shard's own
     (the scale factor is exactly 1.0 and is skipped), preserving the
     1-shard golden-trace equivalence with :func:`run_service` reports.
+
+    ``coordinator`` attaches the coordinator's own CPU/NIC accounting when
+    the cluster models it as a real resource; ``duration`` then overrides
+    the makespan (the last gather-merge can finish after the slowest shard
+    went idle).  Both default to the legacy free-coordinator behaviour.
     """
     if not shard_reports:
         raise ValueError("cannot merge zero shard reports")
-    duration = max(report.duration for report in shard_reports)
+    shard_span = max(report.duration for report in shard_reports)
+    duration = shard_span if duration is None else max(duration, shard_span)
     busy_volume_seconds = 0.0
     total_volumes = 0
     volume_utilisation: List[float] = []
@@ -273,7 +296,43 @@ def merge_shard_slo_reports(
         disk_utilisation=disk_utilisation,
         volume_utilisation=tuple(volume_utilisation),
         classes=classes,
+        coordinator=coordinator,
     )
+
+
+def render_coordinator_table(
+    reports: Sequence[SLOReport],
+    title: Optional[str] = "Coordinator utilisation",
+) -> str:
+    """One row per policy: coordinator CPU/NIC utilisation and queue delays.
+
+    Renders the :attr:`SLOReport.coordinator` sections; reports built
+    without a modeled coordinator show ``-`` across the row.
+    """
+    headers = [
+        "policy", "cpu%", "nic%", "peak%", "cpu ops", "msgs",
+        "cpuQ max", "nicQ max", "warnings",
+    ]
+    rows: List[List[object]] = []
+    for report in reports:
+        section = report.coordinator
+        if section is None:
+            rows.append([report.policy] + ["-"] * (len(headers) - 1))
+            continue
+        rows.append(
+            [
+                report.policy,
+                round(100.0 * section.cpu_utilisation, 1),
+                round(100.0 * section.nic_utilisation, 1),
+                round(100.0 * section.bottleneck_utilisation, 1),
+                section.cpu_ops,
+                section.nic_messages,
+                round(section.cpu_queue_delay_max_s, 3),
+                round(section.nic_queue_delay_max_s, 3),
+                len(section.warnings) or "-",
+            ]
+        )
+    return format_table(headers, rows, title=title)
 
 
 def render_slo_table(

@@ -45,16 +45,27 @@ class LockstepRunner:
     simulator that does not already carry one, labelling shard ``i``'s events
     with the process ``"shard{i}"`` — every shard's spans land in one trace
     on the shared clock.
+
+    ``message_source`` (anything with an ``earliest_in_flight() ->
+    Optional[float]`` method, in practice the cluster coordinator) makes
+    in-flight coordinator messages first-class events of the min-frontier
+    step: each round the frontier is checked against the earliest
+    undelivered message, so a shard clock can never pass a scatter that is
+    still on the wire.  The shards' own event probes already surface those
+    deliveries (a buffered sub-query is part of ``next_step_time``), so the
+    check is an invariant guard, not a behaviour change.
     """
 
     def __init__(
         self,
         simulators: Sequence[ScanSimulator],
         obs: ObservabilityLike = None,
+        message_source=None,
     ) -> None:
         if not simulators:
             raise SimulationError("lockstep runner needs at least one simulator")
         self._simulators = list(simulators)
+        self._message_source = message_source
         self.flight_recorder: Optional[FlightRecorder] = None
         recorder = build_flight_recorder(obs)
         if recorder is not None:
@@ -90,14 +101,29 @@ class LockstepRunner:
                 for simulator in simulators
             ]
             live = [time for time in times if time is not None]
+            in_flight = (
+                self._message_source.earliest_in_flight()
+                if self._message_source is not None
+                else None
+            )
             if not live:
                 detail = "; ".join(
                     f"shard {index}: {simulator.progress_summary()}"
                     for index, simulator in enumerate(simulators)
                     if not simulator.is_done()
                 )
+                if in_flight is not None:
+                    detail += (
+                        f"; earliest undelivered coordinator message "
+                        f"due at {in_flight:.6f}"
+                    )
                 raise SimulationError(f"cluster deadlock: {detail}")
             frontier = min(live)
+            if in_flight is not None and frontier > in_flight + _EPS:
+                raise SimulationError(
+                    f"lockstep frontier {frontier:.6f} passed an undelivered "
+                    f"coordinator message due at {in_flight:.6f}"
+                )
             for simulator, time in zip(simulators, times):
                 if time is not None and time <= frontier + _EPS:
                     simulator.step(time)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import ClusterCoordinator, ShardMap, run_cluster_service
+from repro.cluster.coordinator import ClusterQueryRecord
 from repro.common.config import ClusterConfig, ServiceConfig
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.service.admission import AdmissionController
@@ -179,6 +180,105 @@ class TestGatherOrdering:
             _coordinator([(1.0, spec_a), (0.5, make_request(1, [1]))])
         with pytest.raises(SimulationError):
             _coordinator([(0.0, spec_a), (1.0, spec_b)])
+
+    def test_descending_shard_order_gather(self):
+        """Sub-queries completing from the highest shard down still gather
+        at the last completion, on a fleet wider than two."""
+        spec = make_request(0, range(8))
+        coordinator, _ = _coordinator([(0.0, spec)], shards=4)
+        coordinator.pump(0.0)
+        for shard in (3, 2, 1):
+            assert coordinator.complete_subquery(shard, 0, float(4 - shard)) == []
+            assert coordinator.records == []
+        coordinator.complete_subquery(0, 0, 9.0)
+        (record,) = coordinator.records
+        assert record.finish_time == 9.0
+        assert record.shards == (0, 1, 2, 3)
+        assert record.num_subqueries == 4
+
+    def test_zero_subquery_plan_rejected(self):
+        spec = make_request(0, [0, 1])
+        coordinator, _ = _coordinator([(0.0, spec)])
+
+        class EmptyPlanner:
+            num_shards = coordinator.shard_map.num_shards
+
+            def plan(self, _spec):
+                return {}
+
+        coordinator.shard_map = EmptyPlanner()
+        with pytest.raises(SimulationError, match="zero sub-queries"):
+            coordinator.pump(0.0)
+
+    def test_take_pending_after_drain_is_empty(self):
+        spec = make_request(0, [0, 1])
+        coordinator, _ = _coordinator([(0.0, spec)])
+        coordinator.pump(0.0)
+        assert [a.spec.query_id for a in coordinator.take_pending(0, 0.0)] == [0]
+        # Drained buffers stay drained: repeated takes return nothing, on
+        # the owning shard and on shards that never had a piece.
+        assert coordinator.take_pending(0, 5.0) == []
+        assert coordinator.take_pending(1, 5.0) == []
+        assert not coordinator.has_pending(0)
+        assert coordinator.pending_head_time(0) is None
+        assert coordinator.earliest_in_flight() is None
+        coordinator.complete_subquery(0, 0, 1.0)
+        assert coordinator.drained()
+        assert coordinator.take_pending(0, 10.0) == []
+
+    def test_take_pending_respects_release_times(self):
+        spec_a = make_request(0, [0, 1])
+        spec_b = make_request(1, [0, 1])
+        coordinator, _ = _coordinator(
+            [(0.0, spec_a), (0.5, spec_b)], max_concurrent=2
+        )
+        coordinator.pump(0.0)
+        coordinator.pump(0.5)
+        # Polling at a time before the second release leaves it buffered.
+        assert len(coordinator.take_pending(0, 0.0)) == 1
+        assert coordinator.has_pending(0)
+        assert coordinator.pending_head_time(0) == 0.5
+        assert coordinator.earliest_in_flight() == 0.5
+        assert len(coordinator.take_pending(0, 0.5)) == 1
+
+
+class TestClusterQueryRecordProperties:
+    def _record(self, submit=1.0, admit=2.0, finish=5.0, shards=(0, 1)):
+        return ClusterQueryRecord(
+            query_id=7,
+            name="q7",
+            submit_time=submit,
+            admit_time=admit,
+            finish_time=finish,
+            num_chunks=8,
+            shards=tuple(shards),
+        )
+
+    def test_latency_decomposition(self):
+        record = self._record()
+        assert record.queue_wait == 1.0
+        assert record.execution_latency == 3.0
+        assert record.end_to_end_latency == 4.0
+        assert record.end_to_end_latency == (
+            record.queue_wait + record.execution_latency
+        )
+
+    def test_queue_wait_clamps_clock_noise(self):
+        # Front-door timestamps can tie (admit == submit) or carry float
+        # noise fractionally below; the wait must never go negative.
+        assert self._record(submit=2.0, admit=2.0).queue_wait == 0.0
+        assert self._record(submit=2.0, admit=2.0 - 1e-12).queue_wait == 0.0
+
+    def test_zero_duration_query(self):
+        record = self._record(submit=3.0, admit=3.0, finish=3.0)
+        assert record.queue_wait == 0.0
+        assert record.execution_latency == 0.0
+        assert record.end_to_end_latency == 0.0
+
+    def test_subquery_count_tracks_shards(self):
+        assert self._record(shards=(2,)).num_subqueries == 1
+        assert self._record(shards=(0, 1, 3)).num_subqueries == 3
+        assert self._record(shards=()).num_subqueries == 0
 
 
 class TestClusterRuns:

@@ -5,8 +5,10 @@ import pytest
 from repro.common.config import (
     BufferConfig,
     ClusterConfig,
+    CoordinatorConfig,
     CpuConfig,
     DiskConfig,
+    NetworkConfig,
     PAPER_DSM_SYSTEM,
     PAPER_NSM_SYSTEM,
     ServiceConfig,
@@ -198,3 +200,110 @@ class TestClusterConfig:
         assert description["cluster_mpl"] == 8
         assert description["shard_placement"] == "range"
         assert description["queue_capacity"] == "unbounded"
+
+
+class TestDeprecatedDisciplineAlias:
+    def test_priority_alias_warns_but_still_works(self):
+        # The alias must keep functioning for old callers ...
+        with pytest.warns(DeprecationWarning, match="'priority'.*'sjf'"):
+            service = ServiceConfig(max_concurrent=2, discipline="priority")
+        assert service.discipline == "sjf"
+        with pytest.warns(DeprecationWarning):
+            cluster = ClusterConfig(shards=2, discipline="priority")
+        assert cluster.discipline == "sjf"
+
+    def test_canonical_names_do_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            for name in ("fifo", "sjf"):
+                assert ServiceConfig(discipline=name).discipline == name
+
+
+class TestCoordinatorConfig:
+    def test_defaults_are_free(self):
+        coordinator = CoordinatorConfig()
+        assert coordinator.is_free
+        assert ClusterConfig(shards=2).models_coordinator is False
+
+    def test_any_cost_makes_it_non_free(self):
+        assert not CoordinatorConfig(classify_s=0.01).is_free
+        assert not CoordinatorConfig(scatter_per_subquery_s=0.01).is_free
+        assert not CoordinatorConfig(gather_per_subquery_s=0.01).is_free
+        assert not CoordinatorConfig(merge_per_query_s=0.01).is_free
+
+    @pytest.mark.parametrize("value", [-0.1, float("nan"), float("inf")])
+    def test_rejects_bad_costs(self, value):
+        with pytest.raises(ConfigurationError):
+            CoordinatorConfig(classify_s=value)
+        with pytest.raises(ConfigurationError):
+            CoordinatorConfig(merge_per_query_s=value)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
+    def test_rejects_bad_queue_delay_warn(self, value):
+        with pytest.raises(ConfigurationError):
+            CoordinatorConfig(queue_delay_warn_s=value)
+
+    def test_describe_is_prefixed(self):
+        description = CoordinatorConfig(classify_s=0.25).describe()
+        assert description["coordinator_classify_s"] == 0.25
+        assert "coordinator_merge_per_query_s" in description
+
+
+class TestNetworkConfig:
+    def test_defaults_are_free(self):
+        network = NetworkConfig()
+        assert network.is_free
+        assert network.bandwidth_bytes_per_s is None
+
+    def test_finite_bandwidth_or_overhead_is_non_free(self):
+        assert not NetworkConfig(bandwidth_bytes_per_s=1e6).is_free
+        assert not NetworkConfig(per_message_s=0.001).is_free
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
+    def test_rejects_bad_bandwidth(self, value):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(bandwidth_bytes_per_s=value)
+
+    def test_rejects_bad_message_costs(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(per_message_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(scatter_message_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(gather_message_bytes=1.5)
+
+    def test_describe_reports_infinite_default_bandwidth(self):
+        description = NetworkConfig().describe()
+        assert description["network_bandwidth_bytes_per_s"] == "infinite"
+        assert NetworkConfig(bandwidth_bytes_per_s=100.0).describe()[
+            "network_bandwidth_bytes_per_s"
+        ] == 100.0
+
+
+class TestClusterCoordinatorWiring:
+    def test_models_coordinator_when_either_side_costed(self):
+        costed_cpu = ClusterConfig(
+            shards=2, coordinator=CoordinatorConfig(classify_s=0.01)
+        )
+        costed_net = ClusterConfig(
+            shards=2, network=NetworkConfig(per_message_s=0.001)
+        )
+        assert costed_cpu.models_coordinator
+        assert costed_net.models_coordinator
+
+    def test_rejects_wrong_types(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(shards=2, coordinator=object())
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(shards=2, network=object())
+
+    def test_describe_gated_on_modelling(self):
+        free = ClusterConfig(shards=2).describe()
+        assert "coordinator_classify_s" not in free
+        costed = ClusterConfig(
+            shards=2, coordinator=CoordinatorConfig(classify_s=0.01)
+        ).describe()
+        assert costed["coordinator_classify_s"] == 0.01
+        assert costed["network_bandwidth_bytes_per_s"] == "infinite"

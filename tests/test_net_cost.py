@@ -1,0 +1,230 @@
+"""Unit tests for the coordinator cost layer (:mod:`repro.net`).
+
+:class:`SimCPU` and :class:`SimNIC` are single-server FIFO queues on the
+simulated clock; these tests pin the queueing recurrence (start at
+``max(now, free_time)``), the per-op/message books, the utilisation
+timelines (and that :meth:`CoordinatorResources.timelines` routes them
+through :func:`repro.metrics.timeline.validate_timeline`, rejecting
+corrupted series), and the :class:`CoordinatorSLO` warnings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CoordinatorConfig, NetworkConfig
+from repro.common.errors import SimulationError
+from repro.metrics.timeline import validate_timeline
+from repro.net import (
+    SATURATION_WARN,
+    CoordinatorResources,
+    CoordinatorSLO,
+    SimCPU,
+    SimNIC,
+)
+
+
+class TestSimCPU:
+    def test_idle_cpu_starts_work_immediately(self):
+        cpu = SimCPU()
+        charge = cpu.charge("scatter", 1.0, 0.25)
+        assert charge.start == 1.0
+        assert charge.done == 1.25
+        assert charge.queue_delay == 0.0
+        assert cpu.busy_seconds == 0.25
+        assert cpu.free_time == 1.25
+
+    def test_busy_cpu_queues_work(self):
+        cpu = SimCPU()
+        cpu.charge("scatter", 0.0, 1.0)
+        charge = cpu.charge("gather", 0.5, 0.25)
+        assert charge.start == 1.0
+        assert charge.done == 1.25
+        assert charge.queue_delay == 0.5
+        assert cpu.queued_charges == 1
+        assert cpu.max_queue_delay == 0.5
+        assert cpu.mean_queue_delay == pytest.approx(0.25)
+
+    def test_per_op_books(self):
+        cpu = SimCPU()
+        cpu.charge("scatter", 0.0, 0.1)
+        cpu.charge("scatter", 1.0, 0.1)
+        cpu.charge("gather", 2.0, 0.3)
+        assert cpu.op_counts == {"scatter": 2, "gather": 1}
+        assert cpu.op_seconds["scatter"] == pytest.approx(0.2)
+        assert cpu.op_seconds["gather"] == pytest.approx(0.3)
+        assert cpu.charges == 3
+
+    def test_zero_cost_charge_is_free_and_untimelined(self):
+        cpu = SimCPU()
+        charge = cpu.charge("scatter", 5.0, 0.0)
+        assert charge.done == 5.0
+        assert cpu.utilisation_timeline == []
+        assert cpu.busy_seconds == 0.0
+
+    def test_utilisation_timeline_is_monotone_and_valid(self):
+        cpu = SimCPU()
+        # Out-of-order "now" values still yield monotone finish times
+        # because the server serialises: start = max(now, free_time).
+        for now in (0.5, 0.2, 1.8, 1.7):
+            cpu.charge("scatter", now, 0.4)
+        times = [stamp for stamp, _ in cpu.utilisation_timeline]
+        assert times == sorted(times)
+        validate_timeline(tuple(cpu.utilisation_timeline), where="cpu test")
+
+    def test_utilisation_is_busy_fraction_capped_at_one(self):
+        cpu = SimCPU()
+        cpu.charge("scatter", 0.0, 2.0)
+        assert cpu.utilisation(4.0) == pytest.approx(0.5)
+        assert cpu.utilisation(1.0) == 1.0
+        assert cpu.utilisation(0.0) == 0.0
+
+    @pytest.mark.parametrize("now", [float("nan"), float("inf"), -1.0])
+    def test_invalid_submit_time_rejected(self, now):
+        with pytest.raises(SimulationError):
+            SimCPU().charge("scatter", now, 0.1)
+
+    @pytest.mark.parametrize("seconds", [float("nan"), float("inf"), -0.1])
+    def test_invalid_service_time_rejected(self, seconds):
+        with pytest.raises(SimulationError):
+            SimCPU().charge("scatter", 0.0, seconds)
+
+
+class TestSimNIC:
+    def test_message_seconds_combines_overhead_and_serialisation(self):
+        nic = SimNIC("n", bandwidth_bytes_per_s=1000.0, per_message_s=0.01)
+        assert nic.message_seconds(500) == pytest.approx(0.51)
+
+    def test_infinite_bandwidth_charges_only_overhead(self):
+        nic = SimNIC("n", bandwidth_bytes_per_s=None, per_message_s=0.002)
+        assert nic.message_seconds(10**9) == pytest.approx(0.002)
+
+    def test_send_keeps_byte_and_message_books(self):
+        nic = SimNIC("n", bandwidth_bytes_per_s=1000.0)
+        first = nic.send(0.0, 500)
+        second = nic.send(0.0, 500)
+        assert first.done == pytest.approx(0.5)
+        # The link serialises: the second message waits for the first.
+        assert second.start == pytest.approx(0.5)
+        assert second.done == pytest.approx(1.0)
+        assert nic.messages == 2
+        assert nic.bytes_moved == 1000
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(SimulationError):
+            SimNIC("n", bandwidth_bytes_per_s=0.0)
+        with pytest.raises(SimulationError):
+            SimNIC("n", bandwidth_bytes_per_s=float("nan"))
+
+    def test_negative_message_size_rejected(self):
+        nic = SimNIC("n", bandwidth_bytes_per_s=1000.0)
+        with pytest.raises(SimulationError):
+            nic.send(0.0, -1)
+
+
+class TestCoordinatorResources:
+    def _resources(self, shards=2, **coordinator_costs):
+        coordinator = CoordinatorConfig(**coordinator_costs)
+        network = NetworkConfig(
+            bandwidth_bytes_per_s=1024 * 1024,
+            per_message_s=0.001,
+            scatter_message_bytes=1024,
+            gather_message_bytes=1024,
+        )
+        return CoordinatorResources(coordinator, network, shards)
+
+    def test_admit_charges_classify_plus_per_subquery_scatter(self):
+        resources = self._resources(
+            classify_s=0.01, scatter_per_subquery_s=0.005
+        )
+        done = resources.admit(1.0, query_id=7, num_subqueries=3)
+        assert done == pytest.approx(1.0 + 0.01 + 3 * 0.005)
+        assert resources.cpu.op_counts == {"scatter": 1}
+
+    def test_scatter_crosses_both_nics(self):
+        resources = self._resources()
+        per_hop = 0.001 + 1024 / (1024 * 1024)
+        delivered = resources.deliver_scatter(0.0, shard=1, query_id=3)
+        assert delivered == pytest.approx(2 * per_hop)
+        assert resources.nic.messages == 1
+        assert resources.shard_nics[1].messages == 1
+        assert resources.shard_nics[0].messages == 0
+
+    def test_gather_pays_nics_then_cpu_with_final_merge(self):
+        resources = self._resources(
+            gather_per_subquery_s=0.002, merge_per_query_s=0.01
+        )
+        per_hop = 0.001 + 1024 / (1024 * 1024)
+        arrived = resources.deliver_gather(5.0, shard=0, query_id=3)
+        assert arrived == pytest.approx(5.0 + 2 * per_hop)
+        done = resources.process_gather(arrived, query_id=3, final=False)
+        assert done == pytest.approx(arrived + 0.002)
+        final = resources.process_gather(done, query_id=3, final=True)
+        assert final == pytest.approx(done + 0.002 + 0.01)
+        assert resources.cpu.op_counts == {"gather": 1, "gather-merge": 1}
+
+    def test_timelines_are_validated_and_cover_every_resource(self):
+        resources = self._resources(classify_s=0.01)
+        resources.admit(0.0, query_id=1, num_subqueries=2)
+        resources.deliver_scatter(0.5, shard=0, query_id=1)
+        resources.deliver_gather(1.0, shard=0, query_id=1)
+        series = resources.timelines()
+        assert set(series) == {
+            "coordinator_cpu",
+            "coordinator_nic",
+            "shard0_nic",
+            "shard1_nic",
+        }
+        assert series["coordinator_cpu"]
+        assert series["shard1_nic"] == ()
+
+    def test_corrupted_timeline_is_rejected(self):
+        resources = self._resources(classify_s=0.01)
+        resources.admit(0.0, query_id=1, num_subqueries=1)
+        resources.cpu.utilisation_timeline.append((float("nan"), 0.5))
+        with pytest.raises(SimulationError):
+            resources.timelines()
+
+    def test_backwards_timeline_is_rejected(self):
+        resources = self._resources()
+        resources.nic.utilisation_timeline.extend([(2.0, 0.1), (1.0, 0.2)])
+        with pytest.raises(SimulationError):
+            resources.timelines()
+
+    def test_report_flags_saturation_and_queue_delay(self):
+        resources = self._resources(
+            classify_s=0.5, queue_delay_warn_s=0.1
+        )
+        for query_id in range(4):
+            resources.admit(0.0, query_id=query_id, num_subqueries=1)
+        report = resources.report(duration=2.0)
+        assert report.cpu_utilisation == 1.0
+        assert report.saturated
+        assert report.bottleneck_utilisation >= SATURATION_WARN
+        assert any("CPU utilisation" in warning for warning in report.warnings)
+        assert any("queue delay" in warning for warning in report.warnings)
+
+    def test_report_is_quiet_when_healthy(self):
+        resources = self._resources(classify_s=0.01)
+        resources.admit(0.0, query_id=1, num_subqueries=1)
+        report = resources.report(duration=100.0)
+        assert not report.saturated
+        assert report.warnings == ()
+        assert report.cpu_ops == 1
+
+    def test_slo_as_dict_is_flat(self):
+        resources = self._resources(classify_s=0.01)
+        resources.admit(0.0, query_id=1, num_subqueries=2)
+        resources.deliver_scatter(0.1, shard=0, query_id=1)
+        report = resources.report(duration=1.0)
+        as_dict = report.as_dict()
+        assert as_dict["cpu_ops"] == 1
+        assert as_dict["nic_messages"] == 1
+        assert as_dict["saturated"] is False
+        assert isinstance(as_dict["warnings"], str)
+
+    def test_slo_is_frozen(self):
+        report = self._resources().report(duration=1.0)
+        assert isinstance(report, CoordinatorSLO)
+        with pytest.raises(AttributeError):
+            report.cpu_utilisation = 0.5
