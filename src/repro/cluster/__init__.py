@@ -24,9 +24,28 @@ the coordinator itself is a real resource: a :mod:`repro.net` CPU + NIC
 cost bundle delays scatter deliveries and gather completions, and the
 merged SLO report carries its utilisation and queue-delay warnings.
 
+With ``replicas=R > 1``, a failure schedule, or a hedge policy
+(:attr:`repro.common.config.ClusterConfig.is_resilient`) the cluster also
+tolerates shard failures:
+
+* :mod:`repro.cluster.shardmap` places each chunk range on ``R`` shards by
+  chained declustering, and the coordinator routes each chunk group to the
+  least-loaded live replica;
+* :mod:`repro.cluster.failures` — :class:`FailureInjector` replays a
+  seedable kill/degrade/repair schedule as lockstep frontier events
+  (degraded shards lose disk bandwidth in place; killed shards fail-stop,
+  their work re-scattered to surviving replicas), and
+  :class:`HedgeMonitor` fires hedged duplicates for sub-queries that
+  exceed a latency quantile (first completion wins, the loser is cancelled
+  and fully unwound);
+* the merged SLO report and :class:`ClusterResult` gain an
+  :class:`repro.service.slo.AvailabilitySLO` section — per-shard health
+  timelines, hedge/re-scatter counters and failure-attributed latency.
+
 A 1-shard cluster reproduces :func:`repro.service.run_service` bit for bit
 (same scheduling decisions, same SLO report) — pinned by
-``tests/test_cluster_equivalence.py``.
+``tests/test_cluster_equivalence.py``, which also pins that ``replicas=1``
+with an empty failure schedule reproduces the legacy cluster exactly.
 """
 
 from repro.cluster.shardmap import ShardMap
@@ -38,6 +57,11 @@ from repro.cluster.coordinator import (
     compare_cluster_policies,
     run_cluster_service,
 )
+from repro.cluster.failures import (
+    FailureInjector,
+    HedgeMonitor,
+    random_failure_schedule,
+)
 
 __all__ = [
     "ShardMap",
@@ -47,4 +71,7 @@ __all__ = [
     "ShardSource",
     "compare_cluster_policies",
     "run_cluster_service",
+    "FailureInjector",
+    "HedgeMonitor",
+    "random_failure_schedule",
 ]

@@ -43,11 +43,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.common.config import ClusterConfig, DEFAULT_QUERY_CLASS, SystemConfig
+from repro.common.config import (
+    ClusterConfig,
+    DEFAULT_QUERY_CLASS,
+    HedgeConfig,
+    SystemConfig,
+)
 from repro.common.errors import SimulationError
 from repro.cluster.shardmap import ShardMap
+from repro.core.cscan import ScanRequest
+from repro.metrics.stats import LatencySummary, percentile
 from repro.metrics.timeline import validate_timeline
 from repro.net.resources import CoordinatorResources, CoordinatorSLO
 from repro.obs.profile import SchedulerProfile
@@ -63,7 +70,12 @@ from repro.service.admission import (
 )
 from repro.service.arrivals import Arrival, offered_rate
 from repro.service.frontdoor import FrontDoor, MPLController
-from repro.service.slo import SLOReport, build_slo_report, merge_shard_slo_reports
+from repro.service.slo import (
+    AvailabilitySLO,
+    SLOReport,
+    build_slo_report,
+    merge_shard_slo_reports,
+)
 from repro.sim.lockstep import LockstepRunner
 from repro.sim.results import RunResult
 from repro.sim.runner import AnyABM, ScanSimulator
@@ -126,6 +138,35 @@ class _OpenQuery:
     num_chunks: int
     shards: Tuple[int, ...]
     remaining: int
+    #: The original global scan (resilient mode keeps it so re-scatters and
+    #: hedges can materialise fresh sub-queries; the legacy path never
+    #: needs it).
+    spec: Optional[ScanRequest] = None
+
+
+#: Synthesized sub-query ids start far above any front-door query id, so a
+#: sub-query's id never collides with a whole query's (or another sub's —
+#: re-scatters and hedges each get a fresh id, even on the same shard).
+_SUB_ID_BASE = 1_000_000_000
+
+
+@dataclass
+class _SubQuery:
+    """One dispatched copy of a chunk group (resilient mode only)."""
+
+    sub_id: int
+    query_id: int
+    #: Primary shard of the chunk group (the group's identity).
+    primary: int
+    #: The group's *global* chunk ids (re-scatters re-translate them).
+    global_chunks: Tuple[int, ...]
+    #: Replica shard this copy was dispatched to.
+    shard: int
+    #: When this copy was scattered (hedging measures age from here).
+    scatter_time: float
+    submit_time: float
+    #: ``sub_id`` of the copy this one hedges, or ``None`` for originals.
+    hedge_of: Optional[int] = None
 
 
 class ClusterCoordinator:
@@ -140,6 +181,9 @@ class ClusterCoordinator:
         loads_probe: Optional[Callable[[int], int]] = None,
         obs: Optional[FlightRecorder] = None,
         resources: Optional[CoordinatorResources] = None,
+        resilient: bool = False,
+        hedge: Optional[HedgeConfig] = None,
+        degrade_factor: float = 0.5,
     ) -> None:
         self.frontdoor = FrontDoor(
             arrivals,
@@ -167,6 +211,54 @@ class ClusterCoordinator:
         self.records: List[ClusterQueryRecord] = []
         #: Sub-queries scattered to each shard over the run.
         self.subqueries_scattered: List[int] = [0] * shard_map.num_shards
+        #: Replica-flexible routing with failure tolerance.  ``False``
+        #: selects the legacy primary-only path, byte for byte.
+        self.resilient = resilient
+        #: Hedged-request policy (``None`` disables hedging).
+        self.hedge_config = hedge
+        #: Disk bandwidth multiplier applied to degraded shards.
+        self.degrade_factor = degrade_factor
+        num_shards = shard_map.num_shards
+        #: Per-shard liveness / degradation flags (resilient mode).
+        self._live: List[bool] = [True] * num_shards
+        self._degraded: List[bool] = [False] * num_shards
+        #: Sub-queries currently dispatched to each shard (pending or
+        #: running) — the load signal for least-loaded replica routing.
+        self._outstanding: List[int] = [0] * num_shards
+        #: Live dispatched copies by sub-query id, in dispatch order.
+        self._subs: Dict[int, _SubQuery] = {}
+        #: ``(query_id, primary) -> [sub_id, ...]`` — the racing copies of
+        #: each chunk group (one normally, two while a hedge races).
+        self._groups: Dict[Tuple[int, int], List[int]] = {}
+        #: Every sub-query id ever dispatched for a query (append-only;
+        #: loads attribution sums the shards' per-sub counters over these).
+        self._sub_ids_by_query: Dict[int, List[int]] = {}
+        #: Chunk groups with no live replica, waiting for a repair.
+        self._orphans: List[Tuple[int, int, Tuple[int, ...]]] = []
+        #: Completed sub-query latencies (hedge threshold sample).
+        self._sub_latencies: List[float] = []
+        self._hedge_cache: Tuple[int, float] = (-1, 0.0)
+        #: Latest simulated time the coordinator has witnessed.
+        self._clock = 0.0
+        #: The shard simulators (resilient mode cancels failed or hedged-out
+        #: sub-queries directly on them); set via :meth:`attach_shards`.
+        self._simulators: Optional[List[ScanSimulator]] = None
+        self._next_sub_id = _SUB_ID_BASE
+        #: Availability counters and per-shard ``(time, state)`` timelines.
+        self.kills = 0
+        self.degrades = 0
+        self.repairs = 0
+        self.hedges_fired = 0
+        self.hedges_won = 0
+        self.hedges_cancelled = 0
+        self.rescatters = 0
+        self.orphaned = 0
+        self.shard_timelines: List[List[Tuple[float, str]]] = [
+            [(0.0, "up")] for _ in range(num_shards)
+        ]
+        #: Whole queries whose latency a failure, hedge or degraded shard
+        #: may have touched (for failure-attributed latency reporting).
+        self._affected: Set[int] = set()
 
     @property
     def admission(self) -> AdmissionController:
@@ -191,7 +283,11 @@ class ClusterCoordinator:
 
     def drained(self) -> bool:
         """``True`` once no future query can be admitted (arrivals exhausted
-        and the front queues empty)."""
+        and the front queues empty).  Resilient mode also holds the cluster
+        open while orphaned chunk groups wait for a repair — the work still
+        exists even though no shard can run it yet."""
+        if self.resilient and self._orphans:
+            return False
         return self.frontdoor.drained()
 
     # --------------------------------------------------------------- scatter
@@ -213,7 +309,15 @@ class ClusterCoordinator:
         sub-query first pays classify + scatter CPU and then two NIC hops,
         landing in the owning shard's pending buffer stamped with its
         *delivery* time.
+
+        In resilient mode the plan is replica-flexible instead: each chunk
+        group may run on any live replica, and nothing starts immediately
+        (``direct_shard`` is ignored — the releasing shard picks its new
+        sub-query out of the pending buffer within the same poll).
         """
+        if self.resilient:
+            self._scatter_resilient(entry, now)
+            return None
         plan = self.shard_map.plan(entry.spec)
         if not plan:
             raise SimulationError(
@@ -277,6 +381,138 @@ class ClusterCoordinator:
                 self._pending[shard].append((now, admitted))
         return direct
 
+    # ------------------------------------------------- resilient scatter path
+    def _scatter_resilient(self, entry: QueuedQuery, now: float) -> None:
+        """Plan one admitted query into replica-routable chunk groups."""
+        groups = self.shard_map.plan_groups(entry.spec)
+        if not groups:
+            raise SimulationError(
+                f"query {entry.spec.query_id} planned into zero sub-queries"
+            )
+        query_id = entry.spec.query_id
+        self._clock = max(self._clock, now)
+        primaries = tuple(sorted(groups))
+        self._open[query_id] = _OpenQuery(
+            submit_time=entry.submit_time,
+            admit_time=now,
+            name=entry.spec.name,
+            query_class=entry.query_class,
+            num_chunks=entry.spec.num_chunks,
+            shards=primaries,
+            remaining=len(groups),
+            spec=entry.spec,
+        )
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.scatter",
+                "cluster",
+                now,
+                self._obs_pid,
+                "cluster",
+                query=query_id,
+                query_name=entry.spec.name,
+                query_class=entry.query_class,
+                chunks=entry.spec.num_chunks,
+                shards=list(primaries),
+                subqueries=len(groups),
+            )
+            self._obs.set_gauge("cluster.open_queries", now, float(len(self._open)))
+        ready = now
+        if self.resources is not None:
+            ready = self.resources.admit(now, query_id, len(groups))
+        for primary in primaries:
+            self._dispatch_group(query_id, primary, groups[primary], ready)
+
+    def _pick_replica(
+        self, primary: int, exclude: Tuple[int, ...] = ()
+    ) -> Optional[int]:
+        """Least-loaded live replica of a primary's chunk range.
+
+        Ties break towards the front of the chained-declustering ring (the
+        primary itself first), keeping routing deterministic.  ``None``
+        when every replica is dead or excluded.
+        """
+        best: Optional[int] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for order, shard in enumerate(self.shard_map.replica_shards(primary)):
+            if shard in exclude or not self._live[shard]:
+                continue
+            key = (self._outstanding[shard], order)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = shard
+        return best
+
+    def _dispatch_group(
+        self,
+        query_id: int,
+        primary: int,
+        global_chunks: Sequence[int],
+        now: float,
+        exclude: Tuple[int, ...] = (),
+        hedge_of: Optional[int] = None,
+    ) -> Optional[int]:
+        """Materialise one chunk group on the best live replica.
+
+        Returns the chosen shard, or ``None`` when no replica is live (the
+        group is parked as an orphan until a repair).  ``exclude`` keeps a
+        hedge off the shard already running the original.
+        """
+        target = self._pick_replica(primary, exclude)
+        if target is None:
+            self._orphans.append((query_id, primary, tuple(global_chunks)))
+            self.orphaned += 1
+            self._affected.add(query_id)
+            if self._obs is not None:
+                self._obs.instant(
+                    "cluster.orphan",
+                    "cluster",
+                    now,
+                    self._obs_pid,
+                    "cluster",
+                    query=query_id,
+                    primary=primary,
+                )
+            return None
+        open_query = self._open[query_id]
+        sub_id = self._next_sub_id
+        self._next_sub_id += 1
+        assert open_query.spec is not None
+        sub_spec = self.shard_map.sub_request(
+            open_query.spec, global_chunks, target, sub_id
+        )
+        sub = _SubQuery(
+            sub_id=sub_id,
+            query_id=query_id,
+            primary=primary,
+            global_chunks=tuple(global_chunks),
+            shard=target,
+            scatter_time=now,
+            submit_time=open_query.submit_time,
+            hedge_of=hedge_of,
+        )
+        self._subs[sub_id] = sub
+        self._groups.setdefault((query_id, primary), []).append(sub_id)
+        self._sub_ids_by_query.setdefault(query_id, []).append(sub_id)
+        self._outstanding[target] += 1
+        self.subqueries_scattered[target] += 1
+        delivered = now
+        if self.resources is not None:
+            delivered = self.resources.deliver_scatter(now, target, query_id)
+        self._pending[target].append(
+            (
+                delivered,
+                AdmittedQuery(
+                    spec=sub_spec,
+                    stream=NO_STREAM,
+                    submit_time=open_query.submit_time,
+                ),
+            )
+        )
+        if self._degraded[target]:
+            self._affected.add(query_id)
+        return target
+
     # ---------------------------------------------------------------- gather
     def complete_subquery(
         self, shard: int, query_id: int, now: float
@@ -293,7 +529,13 @@ class ClusterCoordinator:
         merge, so the query completes at the coordinator's processing time
         rather than the shard's event time (and nothing starts immediately
         — released queries travel back through the scatter path).
+
+        In resilient mode ``query_id`` is a synthesized sub-query id; the
+        first copy of a chunk group to finish wins and any racing hedge is
+        cancelled (its MPL, pending-buffer and accounting state unwound).
         """
+        if self.resilient:
+            return self._complete_sub_resilient(shard, query_id, now)
         open_query = self._open.get(query_id)
         if open_query is None:
             raise SimulationError(
@@ -363,6 +605,449 @@ class ClusterCoordinator:
             if direct is not None:
                 started.append(direct)
         return started
+
+    def _complete_sub_resilient(
+        self, shard: int, sub_id: int, now: float
+    ) -> List[AdmittedQuery]:
+        """Resilient-mode gather: first copy of a group to finish wins."""
+        self._clock = max(self._clock, now)
+        sub = self._subs.get(sub_id)
+        if sub is None:
+            raise SimulationError(
+                f"sub-query completion for unknown sub-query {sub_id}"
+            )
+        if sub.shard != shard:
+            raise SimulationError(
+                f"sub-query {sub_id} completed on shard {shard} but was "
+                f"dispatched to shard {sub.shard}"
+            )
+        del self._subs[sub_id]
+        self._outstanding[shard] -= 1
+        self._sub_latencies.append(now - sub.scatter_time)
+        query_id = sub.query_id
+        losers = [
+            other
+            for other in self._groups.pop((query_id, sub.primary), [])
+            if other != sub_id
+        ]
+        for loser in losers:
+            self._cancel_sub(loser, now)
+        if losers:
+            self.hedges_cancelled += len(losers)
+            if sub.hedge_of is not None:
+                self.hedges_won += 1
+        open_query = self._open.get(query_id)
+        if open_query is None:
+            raise SimulationError(
+                f"sub-query {sub_id} gathered for unknown query {query_id}"
+            )
+        open_query.remaining -= 1
+        completion = now
+        if self.resources is not None:
+            arrived = self.resources.deliver_gather(now, shard, query_id)
+            completion = self.resources.process_gather(
+                arrived, query_id, final=open_query.remaining == 0
+            )
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.subquery.complete",
+                "cluster",
+                now,
+                self._obs_pid,
+                "cluster",
+                query=query_id,
+                sub=sub_id,
+                shard=shard,
+                hedged=sub.hedge_of is not None,
+                remaining=open_query.remaining,
+            )
+        if open_query.remaining > 0:
+            return []
+        del self._open[query_id]
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.gather",
+                "cluster",
+                completion,
+                self._obs_pid,
+                "cluster",
+                query=query_id,
+                query_name=open_query.name,
+                query_class=open_query.query_class,
+                shards=list(open_query.shards),
+                end_to_end_latency=completion - open_query.submit_time,
+            )
+            self._obs.set_gauge(
+                "cluster.open_queries", completion, float(len(self._open))
+            )
+        self.records.append(
+            ClusterQueryRecord(
+                query_id=query_id,
+                name=open_query.name,
+                submit_time=open_query.submit_time,
+                admit_time=open_query.admit_time,
+                finish_time=completion,
+                num_chunks=open_query.num_chunks,
+                shards=open_query.shards,
+                query_class=open_query.query_class,
+            )
+        )
+        if completion > now:
+            self.pump(completion)
+        for entry in self.frontdoor.on_complete(query_id, completion):
+            self._scatter(entry, completion)
+        return []
+
+    def _cancel_sub(self, sub_id: int, now: float) -> _SubQuery:
+        """Withdraw one dispatched copy without completing it.
+
+        A copy still sitting in its shard's pending buffer is simply
+        removed; one the shard already started is cancelled inside the
+        simulator (unpinning its chunk and freeing its slot).  Either way
+        its outstanding count is unwound, so routing and MPL accounting
+        never leak cancelled work.
+        """
+        sub = self._subs.pop(sub_id)
+        self._outstanding[sub.shard] -= 1
+        queue = self._pending[sub.shard]
+        for index, (_, admitted) in enumerate(queue):
+            if admitted.spec.query_id == sub_id:
+                del queue[index]
+                return sub
+        self._require_simulators()[sub.shard].cancel_query(sub_id, now)
+        return sub
+
+    # ------------------------------------------------------- failure control
+    def attach_shards(self, simulators: Sequence[ScanSimulator]) -> None:
+        """Give resilient mode direct access to the shard simulators."""
+        self._simulators = list(simulators)
+
+    def _require_simulators(self) -> List[ScanSimulator]:
+        if self._simulators is None:
+            raise SimulationError(
+                "resilient coordinator was not attached to its shard "
+                "simulators; call attach_shards() before running"
+            )
+        return self._simulators
+
+    def kill_shard(self, shard: int, now: float) -> None:
+        """Fail-stop one shard: cancel its work, re-scatter every group.
+
+        Undelivered scatters for the shard are dropped (the message has no
+        destination any more), in-flight sub-queries are cancelled inside
+        the simulator, and each orphaned chunk group is immediately
+        re-dispatched to its least-loaded surviving replica — or parked
+        until a repair when none is live.
+        """
+        if not self._live[shard]:
+            raise SimulationError(f"shard {shard} is already down")
+        self._clock = max(self._clock, now)
+        self._live[shard] = False
+        self._degraded[shard] = False
+        self.kills += 1
+        self.shard_timelines[shard].append((now, "down"))
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.shard.kill",
+                "cluster",
+                now,
+                self._obs_pid,
+                "cluster",
+                shard=shard,
+            )
+            self._obs.set_gauge(
+                "cluster.live_shards", now, float(sum(self._live))
+            )
+        pending_ids = {
+            admitted.spec.query_id for _, admitted in self._pending[shard]
+        }
+        self._pending[shard].clear()
+        victims = [sub for sub in self._subs.values() if sub.shard == shard]
+        simulators = self._require_simulators()
+        for sub in victims:
+            del self._subs[sub.sub_id]
+            self._outstanding[shard] -= 1
+            if sub.sub_id not in pending_ids:
+                simulators[shard].cancel_query(sub.sub_id, now)
+            group = self._groups[(sub.query_id, sub.primary)]
+            group.remove(sub.sub_id)
+            self._affected.add(sub.query_id)
+            if group:
+                continue  # A hedge copy elsewhere still covers the group.
+            del self._groups[(sub.query_id, sub.primary)]
+            target = self._dispatch_group(
+                sub.query_id, sub.primary, sub.global_chunks, now
+            )
+            if target is not None:
+                self.rescatters += 1
+                if self._obs is not None:
+                    self._obs.instant(
+                        "cluster.rescatter",
+                        "cluster",
+                        now,
+                        self._obs_pid,
+                        "cluster",
+                        query=sub.query_id,
+                        primary=sub.primary,
+                        from_shard=shard,
+                        to_shard=target,
+                    )
+
+    def degrade_shard(
+        self, shard: int, now: float, factor: Optional[float] = None
+    ) -> None:
+        """Halve (by default) one live shard's disk bandwidth in place."""
+        if not self._live[shard] or self._degraded[shard]:
+            raise SimulationError(
+                f"cannot degrade shard {shard}: it is not up"
+            )
+        self._clock = max(self._clock, now)
+        self._degraded[shard] = True
+        self.degrades += 1
+        self.shard_timelines[shard].append((now, "degraded"))
+        scale = self.degrade_factor if factor is None else factor
+        self._require_simulators()[shard].set_disk_bandwidth_scale(scale)
+        for sub in self._subs.values():
+            if sub.shard == shard:
+                self._affected.add(sub.query_id)
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.shard.degrade",
+                "cluster",
+                now,
+                self._obs_pid,
+                "cluster",
+                shard=shard,
+                bandwidth_scale=scale,
+            )
+
+    def repair_shard(self, shard: int, now: float) -> None:
+        """Bring a killed or degraded shard back to full health.
+
+        A repaired shard immediately becomes a routing target again, and
+        any chunk groups orphaned while every replica was down are
+        re-dispatched on the spot.
+        """
+        if self._live[shard] and not self._degraded[shard]:
+            raise SimulationError(
+                f"cannot repair shard {shard}: it is already up"
+            )
+        self._clock = max(self._clock, now)
+        was_down = not self._live[shard]
+        self._live[shard] = True
+        self._degraded[shard] = False
+        self.repairs += 1
+        self.shard_timelines[shard].append((now, "up"))
+        self._require_simulators()[shard].set_disk_bandwidth_scale(1.0)
+        if self._obs is not None:
+            self._obs.instant(
+                "cluster.shard.repair",
+                "cluster",
+                now,
+                self._obs_pid,
+                "cluster",
+                shard=shard,
+            )
+            self._obs.set_gauge(
+                "cluster.live_shards", now, float(sum(self._live))
+            )
+        if was_down and self._orphans:
+            orphans = self._orphans
+            self._orphans = []
+            for query_id, primary, chunks in orphans:
+                target = self._dispatch_group(query_id, primary, chunks, now)
+                if target is not None:
+                    self.rescatters += 1
+                    if self._obs is not None:
+                        self._obs.instant(
+                            "cluster.rescatter",
+                            "cluster",
+                            now,
+                            self._obs_pid,
+                            "cluster",
+                            query=query_id,
+                            primary=primary,
+                            to_shard=target,
+                        )
+
+    # --------------------------------------------------------------- hedging
+    def _hedge_threshold(self) -> Optional[float]:
+        """Current lateness threshold, or ``None`` before enough samples.
+
+        ``multiplier x`` the configured quantile of every completed
+        sub-query latency so far; recomputed only when the sample grew.
+        """
+        hedge = self.hedge_config
+        if hedge is None or len(self._sub_latencies) < hedge.min_samples:
+            return None
+        size = len(self._sub_latencies)
+        cached_size, cached = self._hedge_cache
+        if cached_size != size:
+            cached = hedge.multiplier * percentile(
+                self._sub_latencies, hedge.quantile * 100.0
+            )
+            self._hedge_cache = (size, cached)
+        return cached
+
+    def _hedge_eligible(self, sub: _SubQuery) -> bool:
+        """Original, sole copy of its group, with a live alternative."""
+        if sub.hedge_of is not None:
+            return False
+        group = self._groups.get((sub.query_id, sub.primary))
+        if group is None or len(group) != 1:
+            return False
+        return self._pick_replica(sub.primary, exclude=(sub.shard,)) is not None
+
+    def next_hedge_time(self) -> Optional[float]:
+        """When the oldest eligible sub-query crosses the threshold.
+
+        ``None`` without a hedge policy, before the sample warms up, or
+        when nothing is eligible; never before the coordinator's clock (a
+        sub-query already past the threshold hedges *now*, not in the
+        past).
+        """
+        if not self.resilient or self.hedge_config is None:
+            return None
+        threshold = self._hedge_threshold()
+        if threshold is None:
+            return None
+        best: Optional[float] = None
+        for sub in self._subs.values():
+            if not self._hedge_eligible(sub):
+                continue
+            due = sub.scatter_time + threshold
+            if best is None or due < best:
+                best = due
+        if best is None:
+            return None
+        return max(best, self._clock)
+
+    def fire_hedges(self, now: float) -> None:
+        """Scatter a duplicate for every sub-query past the threshold.
+
+        Each duplicate races the original on a *different* live replica;
+        the first completion wins and :meth:`_cancel_sub` unwinds the
+        loser.
+        """
+        threshold = self._hedge_threshold()
+        if threshold is None:
+            return
+        self._clock = max(self._clock, now)
+        due = [
+            sub
+            for sub in self._subs.values()
+            if self._hedge_eligible(sub)
+            and sub.scatter_time + threshold <= now + _EPS
+        ]
+        for sub in due:
+            target = self._dispatch_group(
+                sub.query_id,
+                sub.primary,
+                sub.global_chunks,
+                now,
+                exclude=(sub.shard,),
+                hedge_of=sub.sub_id,
+            )
+            if target is None:
+                continue
+            self.hedges_fired += 1
+            self._affected.add(sub.query_id)
+            if self._obs is not None:
+                self._obs.instant(
+                    "cluster.hedge.fire",
+                    "cluster",
+                    now,
+                    self._obs_pid,
+                    "cluster",
+                    query=sub.query_id,
+                    sub=sub.sub_id,
+                    slow_shard=sub.shard,
+                    hedge_shard=target,
+                    age=now - sub.scatter_time,
+                )
+
+    def stall_detail(self) -> str:
+        """Extra context for the lockstep deadlock error (resilient mode)."""
+        if not self.resilient:
+            return ""
+        parts: List[str] = []
+        if self._orphans:
+            parts.append(
+                f"{len(self._orphans)} orphaned chunk group(s) waiting for "
+                "a repair that never comes"
+            )
+        down = [
+            shard for shard, live in enumerate(self._live) if not live
+        ]
+        if down:
+            parts.append(f"shard(s) {down} down")
+        return "; ".join(parts)
+
+    def sub_ids_of(self, query_id: int) -> Tuple[int, ...]:
+        """Every sub-query id ever dispatched for one whole query.
+
+        The legacy path reuses the whole query's id on every shard, so it
+        returns the query id itself; resilient mode returns the synthesized
+        ids (including cancelled copies, whose chunk loads still happened).
+        """
+        if not self.resilient:
+            return (query_id,)
+        return tuple(self._sub_ids_by_query.get(query_id, ()))
+
+    def availability_report(self, duration: float) -> AvailabilitySLO:
+        """Fold the failure/hedging history into an availability section."""
+        timelines: List[Tuple[Tuple[float, str], ...]] = []
+        downtime: List[float] = []
+        degraded: List[float] = []
+        for shard in range(self.shard_map.num_shards):
+            timeline = self.shard_timelines[shard]
+            down_s = 0.0
+            degraded_s = 0.0
+            for index, (start, state) in enumerate(timeline):
+                if index + 1 < len(timeline):
+                    end = timeline[index + 1][0]
+                else:
+                    end = max(duration, start)
+                span = max(0.0, end - start)
+                if state == "down":
+                    down_s += span
+                elif state == "degraded":
+                    degraded_s += span
+            closed = list(timeline)
+            if closed[-1][0] < duration:
+                # Close the timeline at the run's end so availability is
+                # computed over the full makespan.
+                closed.append((duration, closed[-1][1]))
+            timelines.append(tuple(closed))
+            downtime.append(down_s)
+            degraded.append(degraded_s)
+        affected = [
+            record.end_to_end_latency
+            for record in self.records
+            if record.query_id in self._affected
+        ]
+        unaffected = [
+            record.end_to_end_latency
+            for record in self.records
+            if record.query_id not in self._affected
+        ]
+        return AvailabilitySLO(
+            replicas=self.shard_map.replicas,
+            shard_timelines=tuple(timelines),
+            downtime_s=tuple(downtime),
+            degraded_s=tuple(degraded),
+            kills=self.kills,
+            degrades=self.degrades,
+            repairs=self.repairs,
+            hedges_fired=self.hedges_fired,
+            hedges_won=self.hedges_won,
+            hedges_cancelled=self.hedges_cancelled,
+            rescatters=self.rescatters,
+            orphaned=self.orphaned,
+            affected_queries=len(affected),
+            affected_latency=LatencySummary.from_values(affected),
+            unaffected_latency=LatencySummary.from_values(unaffected),
+        )
 
     # ------------------------------------------------------------- per shard
     def take_pending(self, shard: int, now: float) -> List[AdmittedQuery]:
@@ -472,6 +1157,9 @@ class ClusterResult:
     coordinator_timelines: Dict[str, Tuple[Tuple[float, float], ...]] = field(
         default_factory=dict
     )
+    #: Replication/failure/hedging accounting (``None`` unless the cluster
+    #: configuration is resilient); also threaded into ``slo.availability``.
+    availability: Optional[AvailabilitySLO] = None
 
     @property
     def duration(self) -> float:
@@ -530,7 +1218,10 @@ def run_cluster_service(
     recorder = build_flight_recorder(obs)
     abms = list(shard_abms)
     if num_chunks is None:
-        num_chunks = sum(abm.num_chunks for abm in abms)
+        # Every global chunk appears in exactly `replicas` shard tables
+        # (once, with replicas=1), so the sum of the shard tables over-
+        # counts the global table by exactly that factor.
+        num_chunks = sum(abm.num_chunks for abm in abms) // cluster.replicas
     shard_map = ShardMap.from_cluster_config(cluster, num_chunks)
     shard_map.validate_shard_tables(tuple(abm.num_chunks for abm in abms))
     admission = AdmissionController(
@@ -546,16 +1237,34 @@ def run_cluster_service(
         )
         if recorder is not None:
             resources.attach_observability(recorder)
+    resilient = cluster.is_resilient
+    if resilient:
+        # Loads are recorded per synthesized sub-query id; the probe maps
+        # them back to the whole query (`coordinator` binds late — the
+        # probe only runs once the simulation does).
+        def loads_probe(query_id: int) -> int:
+            return sum(
+                abm.loads_triggered.get(sub_id, 0)
+                for abm in abms
+                for sub_id in coordinator.sub_ids_of(query_id)
+            )
+
+    else:
+
+        def loads_probe(query_id: int) -> int:
+            return sum(abm.loads_triggered.get(query_id, 0) for abm in abms)
+
     coordinator = ClusterCoordinator(
         arrivals,
         shard_map,
         admission,
         mpl_controller=mpl_controller,
-        loads_probe=lambda query_id: sum(
-            abm.loads_triggered.get(query_id, 0) for abm in abms
-        ),
+        loads_probe=loads_probe,
         obs=recorder,
         resources=resources,
+        resilient=resilient,
+        hedge=cluster.hedge,
+        degrade_factor=cluster.failures.degrade_factor,
     )
     simulators = [
         ScanSimulator(
@@ -563,19 +1272,42 @@ def run_cluster_service(
         )
         for shard, abm in enumerate(abms)
     ]
+    interrupts: List[object] = []
+    if resilient:
+        from repro.cluster.failures import FailureInjector, HedgeMonitor
+
+        coordinator.attach_shards(simulators)
+        if not cluster.failures.is_empty:
+            interrupts.append(FailureInjector(cluster.failures, coordinator))
+        if cluster.hedge is not None:
+            interrupts.append(HedgeMonitor(coordinator))
     shard_runs = LockstepRunner(
-        simulators, obs=recorder, message_source=coordinator
+        simulators,
+        obs=recorder,
+        message_source=coordinator,
+        interrupts=interrupts,
     ).run()
 
     records = sorted(coordinator.records, key=lambda record: record.query_id)
-    loads: Dict[int, int] = {}
-    for run in shard_runs:
-        for query in run.queries:
-            loads[query.query_id] = (
-                loads.get(query.query_id, 0) + query.loads_triggered
+    if resilient:
+        # Attribute loads through every dispatched copy (the shards'
+        # counters survive cancellation — a hedged loser's chunk loads
+        # really happened and really hit the disks).
+        for record in records:
+            record.loads_triggered = sum(
+                abm.loads_triggered.get(sub_id, 0)
+                for abm in abms
+                for sub_id in coordinator.sub_ids_of(record.query_id)
             )
-    for record in records:
-        record.loads_triggered = loads.get(record.query_id, 0)
+    else:
+        loads: Dict[int, int] = {}
+        for run in shard_runs:
+            for query in run.queries:
+                loads[query.query_id] = (
+                    loads.get(query.query_id, 0) + query.loads_triggered
+                )
+        for record in records:
+            record.loads_triggered = loads.get(record.query_id, 0)
 
     rate = offered_rate(arrivals)
     shard_reports = [
@@ -591,14 +1323,18 @@ def run_cluster_service(
     coordinator_slo: Optional[CoordinatorSLO] = None
     coordinator_duration: Optional[float] = None
     coordinator_timelines: Dict[str, Tuple[Tuple[float, float], ...]] = {}
+    makespan = max(
+        [run.total_time for run in shard_runs]
+        + [record.finish_time for record in records],
+        default=0.0,
+    )
     if resources is not None:
-        coordinator_duration = max(
-            [run.total_time for run in shard_runs]
-            + [record.finish_time for record in records],
-            default=0.0,
-        )
+        coordinator_duration = makespan
         coordinator_slo = resources.report(coordinator_duration)
         coordinator_timelines = resources.timelines()
+    availability: Optional[AvailabilitySLO] = None
+    if resilient:
+        availability = coordinator.availability_report(makespan)
     slo = merge_shard_slo_reports(
         shard_reports,
         end_to_end=[record.end_to_end_latency for record in records],
@@ -613,6 +1349,7 @@ def run_cluster_service(
         classes=coordinator.frontdoor.class_reports(),
         coordinator=coordinator_slo,
         duration=coordinator_duration,
+        availability=availability,
     )
     mpl_timeline = tuple(coordinator.frontdoor.mpl_timeline)
     validate_timeline(mpl_timeline, where="cluster MPL timeline")
@@ -628,6 +1365,7 @@ def run_cluster_service(
         obs=recorder,
         coordinator=coordinator_slo,
         coordinator_timelines=coordinator_timelines,
+        availability=availability,
     )
 
 

@@ -14,12 +14,22 @@ its own table of ``chunks_owned(shard)`` chunks numbered from zero), using
 :meth:`VolumeLayout.local_index` for the translation.  Locality is what
 keeps per-shard seek accounting honest: chunks that are adjacent inside a
 shard's range stay adjacent in the sub-query.
+
+With ``replicas=R > 1`` the map uses *chained declustering*: replica ``r``
+of primary shard ``p``'s chunk range lives on shard ``(p + r) % N``, so
+each shard stores its own primary range plus the ranges of its ``R - 1``
+predecessors, and losing any single shard leaves every chunk readable on
+``R - 1`` other shards.  A shard's local table enumerates everything it
+*stores* (sorted by global chunk id); :meth:`sub_request` translates a
+chunk group to whichever replica the coordinator picked.  ``replicas=1``
+stores exactly the primary ranges, and every local id coincides with
+:meth:`VolumeLayout.local_index` — the unreplicated geometry, bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError
@@ -39,13 +49,26 @@ class ShardMap:
         Number of shard simulators.
     placement:
         ``"range"`` (contiguous chunk range per shard) or ``"striped"``.
+    replicas:
+        Copies of each primary chunk range, placed by chained declustering
+        (replica *r* of primary *p* on shard ``(p + r) % num_shards``).
     """
 
     num_chunks: int
     num_shards: int = 1
     placement: str = "range"
+    replicas: int = 1
     #: The underlying chunk->shard geometry (a volume layout, reused).
     _layout: VolumeLayout = field(init=False, repr=False, compare=False)
+    #: Per-shard tuple of every global chunk the shard stores (all replicas),
+    #: sorted by global chunk id — the shard's local table enumeration.
+    _stored: Tuple[Tuple[int, ...], ...] = field(
+        init=False, repr=False, compare=False
+    )
+    #: Per-shard map from global chunk id to its shard-local position.
+    _local: Tuple[Dict[int, int], ...] = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         # A disk may have more volumes than chunks, but a shard must own at
@@ -57,6 +80,11 @@ class ShardMap:
                 f"{self.num_shards} shards (every shard must own at least "
                 "one chunk)"
             )
+        if not 1 <= self.replicas <= self.num_shards:
+            raise ConfigurationError(
+                f"replicas must be between 1 and num_shards="
+                f"{self.num_shards}, got {self.replicas}"
+            )
         layout = VolumeLayout(
             num_chunks=self.num_chunks,
             num_volumes=self.num_shards,
@@ -65,7 +93,10 @@ class ShardMap:
         object.__setattr__(self, "_layout", layout)
         # Range placement rounds the per-shard range up, so uneven splits
         # can starve trailing shards even with shards <= chunks (e.g. 10
-        # chunks across 6 shards leaves the last shard empty).
+        # chunks across 6 shards leaves the last shard empty).  With
+        # replication the check still applies to the *primary* ranges: an
+        # empty primary range would leave that shard nothing to lead on and
+        # replica placement asymmetric.
         empty = [
             shard
             for shard in range(self.num_shards)
@@ -77,6 +108,22 @@ class ShardMap:
                 f"across {self.num_shards} shards leaves shard(s) {empty} "
                 "with no chunks; use fewer shards or striped placement"
             )
+        stored: List[Tuple[int, ...]] = []
+        local: List[Dict[int, int]] = []
+        for shard in range(self.num_shards):
+            chunks = sorted(
+                {
+                    chunk
+                    for replica in range(self.replicas)
+                    for chunk in layout.chunks_on(
+                        (shard - replica) % self.num_shards
+                    )
+                }
+            )
+            stored.append(tuple(chunks))
+            local.append({chunk: rank for rank, chunk in enumerate(chunks)})
+        object.__setattr__(self, "_stored", tuple(stored))
+        object.__setattr__(self, "_local", tuple(local))
 
     @classmethod
     def from_cluster_config(
@@ -87,49 +134,82 @@ class ShardMap:
             num_chunks=num_chunks,
             num_shards=cluster.shards,
             placement=cluster.placement,
+            replicas=cluster.replicas,
         )
 
     # ------------------------------------------------------------ geometry
     def shard_of(self, chunk: int) -> int:
-        """Shard owning the given global chunk."""
+        """*Primary* shard of the given global chunk."""
         return self._layout.volume_of(chunk)
 
+    def primary_of(self, chunk: int) -> int:
+        """Alias of :meth:`shard_of`, explicit about replication."""
+        return self._layout.volume_of(chunk)
+
+    def replica_shards(self, primary: int) -> Tuple[int, ...]:
+        """Every shard storing the given primary shard's chunk range.
+
+        The first entry is the primary itself; the rest follow the chained
+        declustering ring order.
+        """
+        return tuple(
+            (primary + replica) % self.num_shards
+            for replica in range(self.replicas)
+        )
+
+    def replicas_of(self, chunk: int) -> Tuple[int, ...]:
+        """Every shard storing a copy of the given global chunk."""
+        return self.replica_shards(self.shard_of(chunk))
+
     def local_chunk(self, chunk: int) -> int:
-        """Shard-local id of a global chunk (its position on its shard)."""
-        return self._layout.local_index(chunk)
+        """Local id of a global chunk on its *primary* shard."""
+        return self._local[self.shard_of(chunk)][chunk]
+
+    def local_chunk_on(self, shard: int, chunk: int) -> int:
+        """Local id of a global chunk on any shard that stores it."""
+        try:
+            return self._local[shard][chunk]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"shard {shard} stores no copy of chunk {chunk} "
+                f"(replicas={self.replicas})"
+            ) from exc
 
     def chunks_on(self, shard: int) -> List[int]:
-        """All global chunks owned by one shard, in shard-local order."""
-        return self._layout.chunks_on(shard)
+        """All global chunks *stored* on one shard, in shard-local order."""
+        return list(self._stored[shard])
 
     def chunks_owned(self, shard: int) -> int:
-        """Number of chunks one shard owns (its local table size)."""
-        return len(self.chunks_on(shard))
+        """Number of chunks one shard stores (its local table size)."""
+        return len(self._stored[shard])
 
     @property
     def shard_sizes(self) -> Tuple[int, ...]:
-        """Chunks owned by each shard, indexed by shard."""
+        """Chunks stored by each shard, indexed by shard."""
         return tuple(self.chunks_owned(shard) for shard in range(self.num_shards))
 
     # ------------------------------------------------------------- planning
     def shards_of(self, spec: ScanRequest) -> Tuple[int, ...]:
-        """The shards a query's chunk set touches, in shard order."""
+        """The primary shards a query's chunk set touches, in shard order."""
         return tuple(sorted({self.shard_of(chunk) for chunk in spec.chunks}))
 
     def plan(self, spec: ScanRequest) -> Dict[int, ScanRequest]:
-        """Split one global scan into per-shard sub-queries.
+        """Split one global scan into per-primary-shard sub-queries.
 
         Returns a dict mapping each touched shard to a sub-query carrying
         the same ``query_id``, name, columns and per-chunk CPU cost, with
         the shard's portion of the chunk set translated to shard-local ids.
         A query touching one shard yields exactly one sub-query identical in
         shape to the original (which is what makes a 1-shard cluster
-        reproduce the single-simulator service bit for bit).
+        reproduce the single-simulator service bit for bit).  Replication
+        does not change this plan — it only widens where each group *may*
+        run; replica-flexible routing goes through :meth:`plan_groups` +
+        :meth:`sub_request` instead.
         """
         by_shard: Dict[int, List[int]] = {}
         for chunk in spec.chunks:
             by_shard.setdefault(self.shard_of(chunk), []).append(
-                self.local_chunk(chunk)
+                self._layout.local_index(chunk)
             )
         plan: Dict[int, ScanRequest] = {}
         for shard in sorted(by_shard):
@@ -142,8 +222,50 @@ class ShardMap:
             )
         return plan
 
+    def plan_groups(self, spec: ScanRequest) -> Dict[int, Tuple[int, ...]]:
+        """Group a query's *global* chunks by primary shard.
+
+        The routing-agnostic half of replica-flexible planning: each group
+        can be materialised on any of its primary's :meth:`replica_shards`
+        via :meth:`sub_request`.
+        """
+        by_primary: Dict[int, List[int]] = {}
+        for chunk in spec.chunks:
+            by_primary.setdefault(self.shard_of(chunk), []).append(chunk)
+        return {
+            primary: tuple(sorted(chunks))
+            for primary, chunks in sorted(by_primary.items())
+        }
+
+    def sub_request(
+        self,
+        spec: ScanRequest,
+        global_chunks: Sequence[int],
+        shard: int,
+        sub_id: int,
+    ) -> ScanRequest:
+        """Materialise one chunk group as a sub-query on a chosen replica.
+
+        ``sub_id`` becomes the sub-query's ``query_id`` (the coordinator
+        synthesises unique ids so re-scatters and hedges never collide on a
+        shard); the chunks are translated to ``shard``'s local table.
+        """
+        return ScanRequest(
+            query_id=sub_id,
+            name=spec.name,
+            chunks=tuple(
+                sorted(
+                    self.local_chunk_on(shard, chunk)
+                    for chunk in global_chunks
+                )
+            ),
+            columns=spec.columns,
+            cpu_per_chunk=spec.cpu_per_chunk,
+            query_class=spec.query_class,
+        )
+
     def validate_shard_tables(self, shard_chunk_counts: Tuple[int, ...]) -> None:
-        """Check that per-shard table sizes match the chunks each shard owns.
+        """Check that per-shard table sizes match the chunks each shard stores.
 
         ``shard_chunk_counts[i]`` is the number of chunks shard *i*'s ABM
         models; a mismatch would silently mis-route sub-query chunks.
@@ -157,15 +279,18 @@ class ShardMap:
             owned = self.chunks_owned(shard)
             if count != owned:
                 raise ConfigurationError(
-                    f"shard {shard} owns {owned} chunks of the table but its "
-                    f"ABM models {count}"
+                    f"shard {shard} stores {owned} chunks of the table but "
+                    f"its ABM models {count}"
                 )
 
     def describe(self) -> Dict[str, object]:
         """Flat description of the sharding (for reports)."""
-        return {
+        described: Dict[str, object] = {
             "num_chunks": self.num_chunks,
             "num_shards": self.num_shards,
             "shard_placement": self.placement,
             "shard_sizes": list(self.shard_sizes),
         }
+        if self.replicas > 1:
+            described["replicas"] = self.replicas
+        return described

@@ -629,6 +629,180 @@ class NetworkConfig:
         }
 
 
+#: Failure-schedule event kinds understood by the cluster failure injector.
+FAILURE_KINDS = ("kill", "degrade", "repair")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled shard failure-model transition on the simulated clock.
+
+    Attributes
+    ----------
+    time:
+        Simulated second at which the event fires (a lockstep frontier
+        event, ordered like an in-flight message).
+    shard:
+        Index of the shard the event applies to.
+    kind:
+        ``"kill"`` (fail-stop: the shard's in-flight sub-queries are
+        cancelled and it accepts no new work), ``"degrade"`` (the shard's
+        disk bandwidth is scaled down by the schedule's
+        ``degrade_factor``), or ``"repair"`` (the shard returns to full
+        health and orphaned sub-queries are re-scattered to it).
+    """
+
+    time: float
+    shard: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time) or self.time < 0.0:
+            raise ConfigurationError(
+                f"failure event time must be finite and >= 0, got {self.time!r}"
+            )
+        if not isinstance(self.shard, int) or self.shard < 0:
+            raise ConfigurationError(
+                f"failure event shard must be a non-negative integer, "
+                f"got {self.shard!r}"
+            )
+        if self.kind not in FAILURE_KINDS:
+            raise ConfigurationError(
+                f"unknown failure event kind {self.kind!r}; "
+                f"expected one of {FAILURE_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """A deterministic schedule of shard kill/degrade/repair events.
+
+    The empty default schedule models a perfectly healthy cluster and is
+    bit-for-bit inert.  Schedules must be globally ordered by time and form
+    a valid per-shard state machine: a shard can only be degraded from the
+    healthy state, killed while up or degraded, and repaired while killed
+    or degraded — overlapping or out-of-order events are configuration
+    errors, not silent no-ops.
+
+    Attributes
+    ----------
+    events:
+        Time-ordered :class:`FailureEvent` tuple.
+    degrade_factor:
+        Disk-bandwidth multiplier applied to a degraded shard, in ``(0, 1]``
+        (``0.5`` = the classic half-speed sick disk).
+    """
+
+    events: Tuple[FailureEvent, ...] = ()
+    degrade_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FailureEvent):
+                raise ConfigurationError(
+                    f"failure schedule entries must be FailureEvent, "
+                    f"got {type(event).__name__}"
+                )
+        if not math.isfinite(self.degrade_factor) or not (
+            0.0 < self.degrade_factor <= 1.0
+        ):
+            raise ConfigurationError(
+                f"degrade_factor must be in (0, 1], got {self.degrade_factor!r}"
+            )
+        previous_time = None
+        state: Dict[int, str] = {}
+        for event in self.events:
+            if previous_time is not None and event.time < previous_time:
+                raise ConfigurationError(
+                    f"failure schedule is out of order: event at t={event.time} "
+                    f"follows one at t={previous_time}; sort events by time"
+                )
+            previous_time = event.time
+            current = state.get(event.shard, "up")
+            if event.kind == "kill" and current == "down":
+                raise ConfigurationError(
+                    f"overlapping failure events: shard {event.shard} is "
+                    f"already killed at t={event.time}; repair it first"
+                )
+            if event.kind == "degrade" and current != "up":
+                raise ConfigurationError(
+                    f"overlapping failure events: shard {event.shard} is "
+                    f"{current!r} at t={event.time}; it must be up to degrade"
+                )
+            if event.kind == "repair" and current == "up":
+                raise ConfigurationError(
+                    f"out-of-order failure events: shard {event.shard} is "
+                    f"already up at t={event.time}; nothing to repair"
+                )
+            state[event.shard] = {
+                "kill": "down",
+                "degrade": "degraded",
+                "repair": "up",
+            }[event.kind]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the schedule holds no events (the healthy-cluster model)."""
+        return not self.events
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the schedule (for reports)."""
+        return {
+            "failure_events": len(self.events),
+            "failure_degrade_factor": self.degrade_factor,
+        }
+
+
+@dataclass(frozen=True)
+class HedgeConfig:
+    """Hedged-request policy for straggling sub-queries.
+
+    Once ``min_samples`` sub-query latencies have been observed, any
+    sub-query still running after ``multiplier`` times the ``quantile``-th
+    observed latency is *hedged*: a duplicate is scattered to another live
+    replica and the first completion wins (the loser is cancelled and its
+    accounting unwound).
+
+    Attributes
+    ----------
+    quantile:
+        Latency quantile (strictly inside ``(0, 1)``) defining "straggler".
+    multiplier:
+        Scale applied to the quantile latency before hedging fires.
+    min_samples:
+        Completed sub-queries required before any hedge is issued (hedging
+        on one sample would duplicate half the warm-up workload).
+    """
+
+    quantile: float = 0.95
+    multiplier: float = 1.0
+    min_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.quantile) or not 0.0 < self.quantile < 1.0:
+            raise ConfigurationError(
+                f"hedge quantile must be in (0, 1), got {self.quantile!r}"
+            )
+        if not math.isfinite(self.multiplier) or self.multiplier <= 0.0:
+            raise ConfigurationError(
+                f"hedge multiplier must be finite and > 0, got {self.multiplier!r}"
+            )
+        if not isinstance(self.min_samples, int) or self.min_samples < 1:
+            raise ConfigurationError(
+                f"hedge min_samples must be an integer >= 1, "
+                f"got {self.min_samples!r}"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a flat dictionary describing the hedge policy (for reports)."""
+        return {
+            "hedge_quantile": self.quantile,
+            "hedge_multiplier": self.multiplier,
+            "hedge_min_samples": self.min_samples,
+        }
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Parameters of the sharded scatter-gather cluster layer.
@@ -667,6 +841,18 @@ class ClusterConfig:
         keeps the historical instant-scatter behaviour.
     network:
         :class:`NetworkConfig` message-fabric costs.  Free by default.
+    replicas:
+        Number of shards each chunk range is placed on (chained
+        declustering: replica *r* of primary shard *p* lives on shard
+        ``(p + r) % shards``).  ``1`` — the default — is the historical
+        unreplicated cluster.
+    failures:
+        :class:`FailureConfig` schedule of shard kill/degrade/repair
+        events.  Empty by default (no failures ever fire).
+    hedge:
+        Optional :class:`HedgeConfig`.  When set (and the cluster is
+        replicated), straggling sub-queries are duplicated onto another
+        live replica and the first completion wins.
     """
 
     shards: int = 1
@@ -678,6 +864,9 @@ class ClusterConfig:
     adaptive: Optional[AdaptiveMPLConfig] = None
     coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    replicas: int = 1
+    failures: FailureConfig = field(default_factory=FailureConfig)
+    hedge: Optional[HedgeConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -709,6 +898,45 @@ class ClusterConfig:
                 f"network must be a NetworkConfig, "
                 f"got {type(self.network).__name__}"
             )
+        if not isinstance(self.replicas, int) or self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be an integer >= 1, got {self.replicas!r}"
+            )
+        if self.replicas > self.shards:
+            raise ConfigurationError(
+                f"replicas={self.replicas} exceeds shards={self.shards}; "
+                "each chunk range can be placed on at most one copy per shard"
+            )
+        if not isinstance(self.failures, FailureConfig):
+            raise ConfigurationError(
+                f"failures must be a FailureConfig, "
+                f"got {type(self.failures).__name__}"
+            )
+        for event in self.failures.events:
+            if event.shard >= self.shards:
+                raise ConfigurationError(
+                    f"failure event at t={event.time} targets shard "
+                    f"{event.shard}, but the cluster only has "
+                    f"{self.shards} shard(s)"
+                )
+        if self.hedge is not None and not isinstance(self.hedge, HedgeConfig):
+            raise ConfigurationError(
+                f"hedge must be a HedgeConfig or None, "
+                f"got {type(self.hedge).__name__}"
+            )
+
+    @property
+    def is_resilient(self) -> bool:
+        """Whether replication, failures or hedging are in play.
+
+        ``False`` (the default) selects the legacy sub-query routing code
+        path, which the equivalence suite pins bit for bit.
+        """
+        return (
+            self.replicas > 1
+            or not self.failures.is_empty
+            or self.hedge is not None
+        )
 
     @property
     def cluster_mpl(self) -> int:
@@ -764,6 +992,12 @@ class ClusterConfig:
         if self.models_coordinator:
             described.update(self.coordinator.describe())
             described.update(self.network.describe())
+        if self.replicas > 1:
+            described["replicas"] = self.replicas
+        if not self.failures.is_empty:
+            described.update(self.failures.describe())
+        if self.hedge is not None:
+            described.update(self.hedge.describe())
         return described
 
 

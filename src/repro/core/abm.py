@@ -378,6 +378,19 @@ class ActiveBufferManager(_BaseABM):
             self._obs_starvation_update(handle, now)
         return chunk
 
+    def cancel(self, query_id: int, now: float) -> CScanHandle:
+        """Abort an unfinished query: release its pin and unregister it.
+
+        Used by the cluster layer for hedged losers and shard fail-stop.
+        Any load the query triggered stays in flight (its data lands in the
+        pool for the surviving queries); only the consumption pin is undone.
+        """
+        handle = self._handle(query_id)
+        chunk = handle.abandon_chunk()
+        if chunk is not None:
+            self.pool.unpin(chunk, now)
+        return self.unregister(query_id, now)
+
     def next_load(self, now: float) -> Optional[LoadOperation]:
         """Decide the next disk operation (``ABM main loop`` body).
 
@@ -593,6 +606,20 @@ class DSMActiveBufferManager(_BaseABM):
         if self._obs is not None:
             self._obs_starvation_update(handle, now)
         return chunk
+
+    def cancel(self, query_id: int, now: float) -> CScanHandle:
+        """Abort an unfinished query: release its block pins and unregister.
+
+        The DSM twin of :meth:`ActiveBufferManager.cancel` — every column
+        block pinned for the chunk being consumed is unpinned before the
+        handle is removed.
+        """
+        handle = self._handle(query_id)
+        chunk = handle.abandon_chunk()
+        if chunk is not None:
+            for column in handle.columns:
+                self.pool.unpin((chunk, column), now)
+        return self.unregister(query_id, now)
 
     def next_load(self, now: float) -> Optional[DSMLoadOperation]:
         """Decide the next disk operation for the DSM store."""

@@ -196,3 +196,14 @@ class CScanHandle:
         """Record that the query is blocked waiting for data."""
         if self.blocked_since is None:
             self.blocked_since = now
+
+    def abandon_chunk(self) -> Optional[int]:
+        """Drop the chunk being consumed without finishing it (cancellation).
+
+        Returns the abandoned chunk (so the caller can release its buffer
+        pin) or ``None`` if the query was not consuming one.  The chunk
+        stays in ``needed``: the query did not get its data.
+        """
+        chunk = self.current_chunk
+        self.current_chunk = None
+        return chunk

@@ -40,6 +40,10 @@ class MultiVolumeDisk:
             )
         self.config = config
         self.layout = layout
+        #: Healthy-disk configuration; :meth:`set_bandwidth_scale` derives
+        #: degraded configs from this so repeated degrade/repair cycles
+        #: never compound.
+        self._base_config = config
         self.volumes: List[DiskModel] = [
             DiskModel(config) for _ in range(layout.num_volumes)
         ]
@@ -103,6 +107,29 @@ class MultiVolumeDisk:
                 triggered_by=request.triggered_by,
             )
         return duration
+
+    def set_bandwidth_scale(self, scale: float) -> None:
+        """Scale every volume's sequential bandwidth (a degraded shard).
+
+        ``scale=1.0`` restores the healthy configuration exactly.  Only
+        *future* serves are affected: an in-flight request's completion time
+        was computed when it was issued, matching a head that finishes its
+        current transfer before slowing down.
+        """
+        if not scale > 0.0:
+            raise ValueError(f"bandwidth scale must be > 0, got {scale!r}")
+        base = self._base_config
+        degraded = (
+            base
+            if scale == 1.0
+            else replace(
+                base,
+                bandwidth_bytes_per_s=base.bandwidth_bytes_per_s * scale,
+            )
+        )
+        self.config = degraded
+        for model in self.volumes:
+            model.config = degraded
 
     def _model_for(self, chunk: int) -> DiskModel:
         return self.volumes[self.layout.volume_of(chunk)]

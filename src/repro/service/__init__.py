@@ -55,10 +55,12 @@ from repro.service.server import (
     compare_service_policies,
 )
 from repro.service.slo import (
+    AvailabilitySLO,
     ClassSLO,
     SLOReport,
     build_slo_report,
     merge_shard_slo_reports,
+    render_availability_table,
     render_class_slo_table,
     render_coordinator_table,
     render_slo_table,
@@ -86,10 +88,12 @@ __all__ = [
     "ServiceResult",
     "run_service",
     "compare_service_policies",
+    "AvailabilitySLO",
     "ClassSLO",
     "SLOReport",
     "build_slo_report",
     "merge_shard_slo_reports",
+    "render_availability_table",
     "render_class_slo_table",
     "render_coordinator_table",
     "render_slo_table",

@@ -74,6 +74,87 @@ class ClassSLO:
 
 
 @dataclass(frozen=True)
+class AvailabilitySLO:
+    """Replication/failure accounting attached to a cluster SLO report.
+
+    Built by the cluster coordinator when the configuration is *resilient*
+    (replicas, a failure schedule, or hedging); carries the per-shard
+    up/degraded timelines plus the counters that explain where failure-era
+    latency went — hedges fired/won, orphan re-scatters, and the latency
+    split between failure-affected and unaffected queries.
+    """
+
+    #: Replication factor the cluster ran with.
+    replicas: int
+    #: Per-shard ``(time, state)`` health timelines; states are ``"up"``,
+    #: ``"degraded"`` and ``"down"``, starting ``(0.0, "up")``.
+    shard_timelines: Tuple[Tuple[Tuple[float, str], ...], ...]
+    #: Seconds each shard spent killed over the run.
+    downtime_s: Tuple[float, ...]
+    #: Seconds each shard spent degraded over the run.
+    degraded_s: Tuple[float, ...]
+    kills: int
+    degrades: int
+    repairs: int
+    #: Hedged duplicates scattered / hedges whose duplicate won / racing
+    #: copies cancelled after a first completion.
+    hedges_fired: int
+    hedges_won: int
+    hedges_cancelled: int
+    #: Sub-query groups re-scattered to another replica after a kill.
+    rescatters: int
+    #: Sub-query groups that found no live replica and had to wait for a
+    #: repair (0 on any run that completed with R > 1 coverage).
+    orphaned: int
+    #: Queries whose latency was touched by a failure, hedge or re-scatter.
+    affected_queries: int
+    affected_latency: LatencySummary
+    unaffected_latency: LatencySummary
+
+    @property
+    def availability(self) -> float:
+        """Mean fraction of shard-seconds the fleet spent fully up."""
+        if not self.shard_timelines:
+            return 1.0
+        spans = []
+        for shard in range(len(self.downtime_s)):
+            last = self.shard_timelines[shard][-1][0] if self.shard_timelines[shard] else 0.0
+            spans.append(last)
+        span = max(spans + [0.0])
+        if span <= 0.0:
+            return 1.0
+        lost = sum(self.downtime_s) + sum(self.degraded_s)
+        return max(0.0, 1.0 - lost / (span * len(self.downtime_s)))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view (merged into ``SLOReport.as_dict``)."""
+        return {
+            "replicas": self.replicas,
+            "kills": self.kills,
+            "degrades": self.degrades,
+            "repairs": self.repairs,
+            "hedges_fired": self.hedges_fired,
+            "hedges_won": self.hedges_won,
+            "hedges_cancelled": self.hedges_cancelled,
+            "rescatters": self.rescatters,
+            "orphaned": self.orphaned,
+            "affected_queries": self.affected_queries,
+            "affected_latency_p95": self.affected_latency.p95,
+            "affected_latency_p99": self.affected_latency.p99,
+            "unaffected_latency_p95": self.unaffected_latency.p95,
+            "unaffected_latency_p99": self.unaffected_latency.p99,
+            **{
+                f"shard{shard}_downtime_s": value
+                for shard, value in enumerate(self.downtime_s)
+            },
+            **{
+                f"shard{shard}_degraded_s": value
+                for shard, value in enumerate(self.degraded_s)
+            },
+        }
+
+
+@dataclass(frozen=True)
 class SLOReport:
     """Service-level summary of one open-system run under one policy."""
 
@@ -101,6 +182,10 @@ class SLOReport:
     #: equality with :func:`repro.service.run_service` reports still holds
     #: on the zero-cost path).
     coordinator: Optional[CoordinatorSLO] = None
+    #: Replication/failure accounting — only present on cluster reports
+    #: whose configuration is resilient (replicas > 1, a failure schedule,
+    #: or hedging); ``None`` preserves frozen equality on the legacy path.
+    availability: Optional[AvailabilitySLO] = None
 
     @property
     def num_volumes(self) -> int:
@@ -162,6 +247,14 @@ class SLOReport:
                     for key, value in self.coordinator.as_dict().items()
                 }
                 if self.coordinator is not None
+                else {}
+            ),
+            **(
+                {
+                    f"availability_{key}": value
+                    for key, value in self.availability.as_dict().items()
+                }
+                if self.availability is not None
                 else {}
             ),
         }
@@ -232,6 +325,7 @@ def merge_shard_slo_reports(
     classes: Tuple[ClassSLO, ...] = (),
     coordinator: Optional[CoordinatorSLO] = None,
     duration: Optional[float] = None,
+    availability: Optional[AvailabilitySLO] = None,
 ) -> SLOReport:
     """Gather per-shard reports into one cluster-level :class:`SLOReport`.
 
@@ -297,6 +391,7 @@ def merge_shard_slo_reports(
         volume_utilisation=tuple(volume_utilisation),
         classes=classes,
         coordinator=coordinator,
+        availability=availability,
     )
 
 
@@ -330,6 +425,44 @@ def render_coordinator_table(
                 round(section.cpu_queue_delay_max_s, 3),
                 round(section.nic_queue_delay_max_s, 3),
                 len(section.warnings) or "-",
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def render_availability_table(
+    reports: Sequence[SLOReport],
+    title: Optional[str] = "Availability & failure handling",
+) -> str:
+    """One row per policy: failure counters, hedging and the latency split.
+
+    Renders the :attr:`SLOReport.availability` sections; reports built
+    without a resilient cluster show ``-`` across the row.
+    """
+    headers = [
+        "policy", "R", "avail%", "kills", "repairs", "hedged", "won",
+        "rescat", "orphan", "affected", "aff p99", "unaff p99",
+    ]
+    rows: List[List[object]] = []
+    for report in reports:
+        section = report.availability
+        if section is None:
+            rows.append([report.policy] + ["-"] * (len(headers) - 1))
+            continue
+        rows.append(
+            [
+                report.policy,
+                section.replicas,
+                round(100.0 * section.availability, 1),
+                section.kills,
+                section.repairs,
+                section.hedges_fired,
+                section.hedges_won,
+                section.rescatters,
+                section.orphaned,
+                section.affected_queries,
+                round(section.affected_latency.p99, 2),
+                round(section.unaffected_latency.p99, 2),
             ]
         )
     return format_table(headers, rows, title=title)

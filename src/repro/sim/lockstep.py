@@ -54,6 +54,15 @@ class LockstepRunner:
     still on the wire.  The shards' own event probes already surface those
     deliveries (a buffered sub-query is part of ``next_step_time``), so the
     check is an invariant guard, not a behaviour change.
+
+    ``interrupts`` are external frontier-event sources (failure injectors,
+    hedge monitors): anything with ``next_event_time() -> Optional[float]``
+    and ``fire(now) -> None``.  Their times join the frontier candidates
+    exactly like in-flight messages, and a due interrupt fires *before* any
+    simulator steps at that instant — a kill scheduled at the same time as
+    a scatter delivery deterministically wins the race.  After firing, the
+    round restarts (the interrupt may have created, cancelled or re-routed
+    work on any shard).
     """
 
     def __init__(
@@ -61,11 +70,13 @@ class LockstepRunner:
         simulators: Sequence[ScanSimulator],
         obs: ObservabilityLike = None,
         message_source=None,
+        interrupts: Sequence = (),
     ) -> None:
         if not simulators:
             raise SimulationError("lockstep runner needs at least one simulator")
         self._simulators = list(simulators)
         self._message_source = message_source
+        self._interrupts = list(interrupts)
         self.flight_recorder: Optional[FlightRecorder] = None
         recorder = build_flight_recorder(obs)
         if recorder is not None:
@@ -101,12 +112,19 @@ class LockstepRunner:
                 for simulator in simulators
             ]
             live = [time for time in times if time is not None]
+            interrupt_times = [
+                (when, source)
+                for source in self._interrupts
+                for when in (source.next_event_time(),)
+                if when is not None
+            ]
+            candidates = live + [when for when, _ in interrupt_times]
             in_flight = (
                 self._message_source.earliest_in_flight()
                 if self._message_source is not None
                 else None
             )
-            if not live:
+            if not candidates:
                 detail = "; ".join(
                     f"shard {index}: {simulator.progress_summary()}"
                     for index, simulator in enumerate(simulators)
@@ -117,13 +135,29 @@ class LockstepRunner:
                         f"; earliest undelivered coordinator message "
                         f"due at {in_flight:.6f}"
                     )
+                stall = getattr(self._message_source, "stall_detail", None)
+                if stall is not None:
+                    extra = stall()
+                    if extra:
+                        detail += f"; {extra}"
                 raise SimulationError(f"cluster deadlock: {detail}")
-            frontier = min(live)
+            frontier = min(candidates)
             if in_flight is not None and frontier > in_flight + _EPS:
                 raise SimulationError(
                     f"lockstep frontier {frontier:.6f} passed an undelivered "
                     f"coordinator message due at {in_flight:.6f}"
                 )
+            # Interrupts due at the frontier fire before any simulator
+            # steps there, then the round restarts with fresh probes: the
+            # interrupt may have cancelled or re-routed work anywhere.
+            fired = False
+            for when, source in interrupt_times:
+                while when is not None and when <= frontier + _EPS:
+                    source.fire(when)
+                    fired = True
+                    when = source.next_event_time()
+            if fired:
+                continue
             for simulator, time in zip(simulators, times):
                 if time is not None and time <= frontier + _EPS:
                     simulator.step(time)

@@ -150,6 +150,10 @@ class ScanSimulator:
         self._query_results: List[QueryResult] = []
         self._started = 0
         self._finished = 0
+        #: Queries removed by :meth:`cancel_query` (hedged losers, shard
+        #: fail-stop).  They count as "accounted for" in :meth:`is_done`
+        #: but never produce a :class:`QueryResult`.
+        self._cancelled = 0
         self._cpu_busy_area = 0.0
         self._scheduling_seconds = 0.0
         #: Per-phase wall-clock accumulators behind ``scheduler_profile``
@@ -227,8 +231,18 @@ class ScanSimulator:
         self._scheduling_calls_base = getattr(self._abm.policy, "scheduling_calls", 0)
 
     def is_done(self) -> bool:
-        """``True`` once the source is drained and every query finished."""
-        return self._source.drained() and self._finished == self._started
+        """``True`` once the source is drained and every query finished.
+
+        In-flight disk loads also hold the run open: a cancelled query
+        (hedged loser, fail-stop) may orphan a load whose service time was
+        already charged to the disk, and the clock must advance through its
+        completion or the disk would end the run busier than the wall clock.
+        """
+        return (
+            self._source.drained()
+            and self._finished + self._cancelled == self._started
+            and not self._inflight
+        )
 
     def next_step_time(self) -> Optional[float]:
         """Issue any possible disk loads, then return the time of the next
@@ -250,11 +264,66 @@ class ScanSimulator:
 
     def progress_summary(self) -> str:
         """One-line progress/diagnostic summary (used in deadlock errors)."""
-        return (
+        unfinished = self._started - self._finished - self._cancelled
+        summary = (
             f"{len(self._blocked)} blocked queries, disk idle, "
-            f"{self._started - self._finished} admitted queries "
+            f"{unfinished} admitted queries "
             f"unfinished (policy {self._abm.policy.name!r})"
         )
+        if self._cancelled:
+            summary += f", {self._cancelled} cancelled"
+        return summary
+
+    # ------------------------------------------------------- failure control
+    def cancel_query(self, query_id: int, now: float) -> None:
+        """Abort one admitted, unfinished query (hedged loser / fail-stop).
+
+        The query leaves every simulator structure — running set, blocked
+        set, CPU heap (lazily, via its ``cpu_seq``) and the ABM — without
+        producing a :class:`QueryResult` and without notifying the query
+        source: the cluster coordinator owns whole-query completion and
+        decides separately what the cancellation means for it.
+        """
+        run = self._queries.get(query_id)
+        if run is None:
+            raise SimulationError(f"cannot cancel unknown query {query_id}")
+        if run.done:
+            raise SimulationError(
+                f"cannot cancel query {query_id}: it already finished"
+            )
+        del self._queries[query_id]
+        self._running.pop(query_id, None)
+        self._blocked.discard(query_id)
+        self._timed("cancel", lambda: self._abm.cancel(query_id, now))
+        self._cancelled += 1
+        if self._obs is not None:
+            self._obs.async_end(
+                run.spec.name, "exec", now, query_id,
+                self._pid, "queries",
+                cancelled=True,
+                loads_triggered=self._abm.loads_triggered.get(query_id, 0),
+            )
+
+    def fail_stop(self, now: float) -> List[int]:
+        """Cancel every admitted, unfinished query (a shard kill).
+
+        Returns the cancelled query ids in ascending order.  Buffered
+        chunks and in-flight disk loads are untouched: the pool's contents
+        simply outlive their consumers, and loads complete harmlessly into
+        an ABM with no interested queries.
+        """
+        victims = sorted(
+            query_id
+            for query_id, run in self._queries.items()
+            if not run.done
+        )
+        for query_id in victims:
+            self.cancel_query(query_id, now)
+        return victims
+
+    def set_disk_bandwidth_scale(self, scale: float) -> None:
+        """Scale every volume's bandwidth (degraded shard); 1.0 restores."""
+        self._disk.set_bandwidth_scale(scale)
 
     # ------------------------------------------------------------ event core
     def _cpu_entry_valid(self, entry: Tuple[float, int, int]) -> bool:

@@ -236,6 +236,108 @@ class TestFrontDoorConfigEquivalence:
         assert single.mpl_timeline == clustered.mpl_timeline
 
 
+class TestResilientDefaultsEquivalence:
+    """``replicas=1`` with an empty failure schedule and no hedge policy is
+    *not* resilient mode: it must take the legacy cluster path and
+    reproduce today's results bit for bit (fingerprints and SLO reports),
+    across layouts, policies and shard counts."""
+
+    def _nsm_cluster(self, tiny_schema, small_config, cluster, policy):
+        from repro.cluster import ShardMap
+
+        num_chunks = 32
+        shard_map = ShardMap.from_cluster_config(cluster, num_chunks)
+        tuples_per_chunk = small_config.buffer.chunk_bytes // 32
+        global_layout = NSMTableLayout.from_buffer_config(
+            tiny_schema, num_chunks * tuples_per_chunk, small_config.buffer
+        )
+        abms = [
+            make_nsm_abm(
+                NSMTableLayout.from_buffer_config(
+                    tiny_schema,
+                    shard_map.chunks_owned(shard) * tuples_per_chunk,
+                    small_config.buffer,
+                ),
+                small_config,
+                policy,
+                capacity_chunks=8,
+            )
+            for shard in range(cluster.shards)
+        ]
+        return run_cluster_service(
+            _arrivals(_nsm_templates(), global_layout),
+            small_config,
+            abms,
+            cluster,
+            record_trace=True,
+        )
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize(
+        "policy", ["normal", "attach", "elevator", "relevance"]
+    )
+    def test_nsm_explicit_defaults_bit_for_bit(
+        self, tiny_schema, small_config, shards, policy
+    ):
+        from repro.common.config import FailureConfig
+
+        plain = ClusterConfig(shards=shards, mpl_per_shard=3)
+        explicit = ClusterConfig(
+            shards=shards,
+            mpl_per_shard=3,
+            replicas=1,
+            failures=FailureConfig(),
+            hedge=None,
+        )
+        assert not explicit.is_resilient
+        baseline = self._nsm_cluster(tiny_schema, small_config, plain, policy)
+        pinned = self._nsm_cluster(tiny_schema, small_config, explicit, policy)
+        for run_a, run_b in zip(baseline.shard_runs, pinned.shard_runs):
+            assert _fingerprint(run_a) == _fingerprint(run_b)
+        assert baseline.slo == pinned.slo
+        assert pinned.availability is None
+        assert pinned.slo.availability is None
+
+    @pytest.mark.parametrize(
+        "policy", ["normal", "attach", "elevator", "relevance"]
+    )
+    def test_dsm_explicit_defaults_bit_for_bit(
+        self, dsm_layout, small_config, policy
+    ):
+        from repro.common.config import FailureConfig
+
+        arrivals = _arrivals(_dsm_templates(), dsm_layout)
+        capacity_pages = max(64, int(dsm_layout.table_pages() * 0.3))
+
+        def run(cluster):
+            return run_cluster_service(
+                arrivals,
+                small_config,
+                [
+                    make_dsm_abm(
+                        dsm_layout,
+                        small_config,
+                        policy,
+                        capacity_pages=capacity_pages,
+                    )
+                ],
+                cluster,
+                record_trace=True,
+            )
+
+        baseline = run(ClusterConfig(shards=1, mpl_per_shard=4))
+        pinned = run(
+            ClusterConfig(
+                shards=1, mpl_per_shard=4, replicas=1, failures=FailureConfig()
+            )
+        )
+        assert _fingerprint(baseline.shard_runs[0]) == _fingerprint(
+            pinned.shard_runs[0]
+        )
+        assert baseline.slo == pinned.slo
+        assert pinned.availability is None
+
+
 class TestMultiShardDeterminism:
     def _run(self, tiny_schema, small_config, shards):
         from repro.cluster import ShardMap

@@ -131,6 +131,76 @@ class TestShardsFinishBeforeFrontDrains:
         assert len(runs[1].queries) == 1
 
 
+class _Beeper:
+    """Stub interrupt source: fires at fixed times, mutates nothing."""
+
+    def __init__(self, times):
+        self.times = list(times)
+        self.fired = []
+
+    def next_event_time(self):
+        return self.times[0] if self.times else None
+
+    def fire(self, now):
+        self.fired.append(now)
+        self.times.pop(0)
+
+
+class TestLockstepInterrupts:
+    def _build(self, nsm_layout, small_config):
+        return ScanSimulator(
+            [[make_request(0, range(0, 8), cpu_per_chunk=0.002),
+              make_request(1, range(4, 12), cpu_per_chunk=0.004)]],
+            small_config,
+            make_nsm_abm(nsm_layout, small_config, "relevance"),
+            record_trace=True,
+        )
+
+    def test_interrupt_fires_at_its_exact_time(self, nsm_layout, small_config):
+        beeper = _Beeper([0.05])
+        (run,) = LockstepRunner(
+            [self._build(nsm_layout, small_config)], interrupts=[beeper]
+        ).run()
+        assert beeper.fired == [0.05]
+        assert len(run.queries) == 2
+
+    def test_noop_interrupt_never_perturbs_the_run(
+        self, nsm_layout, small_config
+    ):
+        plain = LockstepRunner([self._build(nsm_layout, small_config)]).run()
+        interrupted = LockstepRunner(
+            [self._build(nsm_layout, small_config)],
+            interrupts=[_Beeper([0.01, 0.05, 0.2])],
+        ).run()
+        assert scheduling_fingerprint(plain[0]) == scheduling_fingerprint(
+            interrupted[0]
+        )
+
+    def test_interrupt_after_the_run_never_fires(self, nsm_layout, small_config):
+        beeper = _Beeper([1e9])
+        (run,) = LockstepRunner(
+            [self._build(nsm_layout, small_config)], interrupts=[beeper]
+        ).run()
+        assert beeper.fired == []
+        assert len(run.queries) == 2
+
+    def test_same_time_events_drain_in_one_round(self, nsm_layout, small_config):
+        beeper = _Beeper([0.05, 0.05, 0.05])
+        LockstepRunner(
+            [self._build(nsm_layout, small_config)], interrupts=[beeper]
+        ).run()
+        assert beeper.fired == [0.05, 0.05, 0.05]
+
+    def test_multiple_interrupt_sources_all_fire(self, nsm_layout, small_config):
+        early = _Beeper([0.02])
+        late = _Beeper([0.1])
+        LockstepRunner(
+            [self._build(nsm_layout, small_config)], interrupts=[early, late]
+        ).run()
+        assert early.fired == [0.02]
+        assert late.fired == [0.1]
+
+
 class TestSingleStepAndSingleton:
     def test_fleet_of_one_equals_solo_run(self, nsm_layout, small_config):
         def build():
