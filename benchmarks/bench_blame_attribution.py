@@ -1,0 +1,362 @@
+"""Blame attribution: always-on stamping is near-free and points correctly.
+
+Every query carries a :class:`repro.obs.postmortem.LatencyBreakdown`
+whether or not the flight recorder is attached; this benchmark enforces
+the two contracts that make "always on" acceptable and useful:
+
+* **bounded overhead** — the stamped run's wall-clock stays within
+  ``OVERHEAD_BUDGET`` (1.05x) of a run with breakdowns disabled (the
+  pre-stamping baseline), best-of-``SAMPLES`` interleaved samples, with
+  bit-identical scheduling fingerprints;
+* **correct attribution** — a disk-starved workload pins more than half
+  of its p95-tail blame on the disk phases, while a coordinator-saturated
+  cluster pins its top tail blame on the coordinator CPU phases.
+
+Standalone runs also merge a schema-versioned ``postmortem`` section into
+``BENCH_core.json`` and write
+``benchmarks/out/blame_attribution_results.json`` for the CI artifact::
+
+    PYTHONPATH=src python -m benchmarks.bench_blame_attribution
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+from benchmarks._harness import print_banner, run_once, update_bench_core
+from repro.cluster import ShardMap
+from repro.cluster.coordinator import run_cluster_service
+from repro.common.config import (
+    BufferConfig,
+    ClusterConfig,
+    CoordinatorConfig,
+    CpuConfig,
+    DiskConfig,
+    NetworkConfig,
+    SystemConfig,
+)
+from repro.common.units import KB, MB
+from repro.service import poisson_arrivals
+from repro.service.slo import render_blame_table
+from repro.sim.results import scheduling_fingerprint
+from repro.sim.runner import run_simulation
+from repro.sim.setup import make_nsm_abm
+from repro.storage.nsm import NSMTableLayout
+from repro.storage.schema import ColumnSpec, DataType, TableSchema
+from repro.workload.queries import QueryFamily, QueryTemplate
+
+NUM_CHUNKS = 64
+NUM_STREAMS = 8
+ARRIVAL_SEED = 11
+#: Stamped wall-clock must stay within this multiple of breakdowns-off.
+OVERHEAD_BUDGET = 1.05
+#: Best-of-N interleaved sampling on both sides.  Host noise on shared
+#: runners drifts slowly over seconds, so the pairs alternate which side
+#: samples first and N is large enough that both sides hit the same
+#: quiet windows.
+SAMPLES = 14
+#: A "pinned" workload must put at least this tail-blame share on its
+#: bottleneck phases.
+PIN_SHARE = 0.5
+
+DISK_PHASES = ("disk_seek", "disk_transfer")
+COORDINATOR_PHASES = ("coordinator_cpu", "gather_cpu")
+
+OUT_DIR = os.environ.get(
+    "REPRO_OBS_OUT_DIR", os.path.join("benchmarks", "out")
+)
+
+
+def _schema() -> TableSchema:
+    return TableSchema.build(
+        "blame_nsm", [ColumnSpec(name, DataType.INT64) for name in "abcd"]
+    )
+
+
+def _layout(schema: TableSchema, config: SystemConfig,
+            num_chunks: int = NUM_CHUNKS) -> NSMTableLayout:
+    tuples_per_chunk = int(
+        config.buffer.chunk_bytes // schema.tuple_logical_bytes
+    )
+    return NSMTableLayout.from_buffer_config(
+        schema, num_chunks * tuples_per_chunk, config.buffer
+    )
+
+
+# ---------------------------------------------------------------- overhead
+def _overhead_config() -> SystemConfig:
+    return SystemConfig(
+        disk=DiskConfig(bandwidth_bytes_per_s=100 * MB, avg_seek_s=0.002,
+                        sequential_seek_s=0.0005),
+        cpu=CpuConfig(cores=4),
+        buffer=BufferConfig(chunk_bytes=1 * MB, page_bytes=64 * KB,
+                            capacity_chunks=8),
+    )
+
+
+def _overhead_streams(layout):
+    fast = QueryFamily("F", cpu_per_chunk=0.002)
+    slow = QueryFamily("S", cpu_per_chunk=0.008)
+    templates = (
+        QueryTemplate(fast, 25),
+        QueryTemplate(fast, 50),
+        QueryTemplate(slow, 100),
+    )
+    # Big enough that one sample runs ~1s of wall-clock: a 5% gate needs
+    # the per-sample host noise to be well under 5%, and sub-300ms samples
+    # are not.
+    arrivals = poisson_arrivals(
+        templates, layout, 1.5, NUM_STREAMS * 36, seed=ARRIVAL_SEED
+    )
+    # A closed-stream shape: one single-query stream per arrival, offset
+    # by submit time being irrelevant here — run_simulation takes streams.
+    return [[arrival.spec] for arrival in arrivals]
+
+
+def _measure_overhead():
+    config = _overhead_config()
+    schema = _schema()
+    layout = _layout(schema, config)
+    streams = _overhead_streams(layout)
+
+    def one_run(breakdowns: bool):
+        abm = make_nsm_abm(layout, config, "relevance")
+        # Collector pauses land disproportionately on the stamped side (it
+        # allocates the breakdown objects), so quiesce the GC around each
+        # timed sample — the same thing ``timeit`` does by default.
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            result = run_simulation(
+                streams, config, abm, breakdowns=breakdowns
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            gc.enable()
+        return elapsed, result
+
+    off_s = on_s = float("inf")
+    off_run = on_run = None
+    # Interleaved best-of-N, alternating which side runs first in each
+    # pair, so slowly-drifting host noise hits both sides equally.
+    for index in range(SAMPLES):
+        order = (False, True) if index % 2 == 0 else (True, False)
+        for breakdowns in order:
+            elapsed, result = one_run(breakdowns)
+            if breakdowns:
+                on_s = min(on_s, elapsed)
+                on_run = result
+            else:
+                off_s = min(off_s, elapsed)
+                off_run = result
+
+    assert scheduling_fingerprint(off_run) == scheduling_fingerprint(
+        on_run
+    ), "breakdown stamping changed a scheduling decision"
+    assert all(query.breakdown is None for query in off_run.queries)
+    for query in on_run.queries:
+        query.breakdown.validate(end_to_end=query.end_to_end_latency)
+
+    ratio = on_s / off_s if off_s > 0 else float("inf")
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"stamped run took {ratio:.3f}x the breakdowns-off wall-clock "
+        f"(budget {OVERHEAD_BUDGET}x): {on_s:.4f}s vs {off_s:.4f}s"
+    )
+    return {
+        "baseline_wall_clock_s": off_s,
+        "stamped_wall_clock_s": on_s,
+        "overhead_ratio": ratio,
+        "budget": OVERHEAD_BUDGET,
+        "queries": len(on_run.queries),
+    }
+
+
+# ------------------------------------------------------------- attribution
+def _tail_share(blame, phases) -> float:
+    shares = blame.tail_shares()
+    return sum(shares[name] for name in phases)
+
+
+def _disk_starved():
+    """A slow disk, a tiny buffer and near-zero CPU: disk must take blame."""
+    config = SystemConfig(
+        disk=DiskConfig(bandwidth_bytes_per_s=20 * MB, avg_seek_s=0.01,
+                        sequential_seek_s=0.002),
+        cpu=CpuConfig(cores=8),
+        buffer=BufferConfig(chunk_bytes=1 * MB, page_bytes=64 * KB,
+                            capacity_chunks=4),
+    )
+    schema = _schema()
+    layout = _layout(schema, config)
+    fast = QueryFamily("F", cpu_per_chunk=0.0002)
+    templates = (QueryTemplate(fast, 50), QueryTemplate(fast, 100))
+    arrivals = poisson_arrivals(
+        templates, layout, 1.0, 24, seed=ARRIVAL_SEED
+    )
+    streams = [[arrival.spec] for arrival in arrivals]
+    abm = make_nsm_abm(layout, config, "relevance")
+    result = run_simulation(streams, config, abm)
+    from repro.obs.postmortem import build_blame_report
+
+    blame = build_blame_report(
+        (query.query_class, query.breakdown) for query in result.queries
+    )
+    share = _tail_share(blame.overall, DISK_PHASES)
+    assert share > PIN_SHARE, (
+        f"disk-starved run pinned only {share:.0%} of p95 blame on disk "
+        f"phases (need > {PIN_SHARE:.0%})"
+    )
+    return blame, {
+        "workload": "disk-starved",
+        "tail_disk_share": share,
+        "tail_threshold_s": blame.overall.tail_threshold_s,
+        "queries": blame.overall.count,
+    }
+
+
+def _coordinator_saturated():
+    """Heavy classify/scatter/merge costs: the coordinator must take blame."""
+    config = SystemConfig(
+        disk=DiskConfig(bandwidth_bytes_per_s=400 * MB, avg_seek_s=0.0005,
+                        sequential_seek_s=0.0001),
+        cpu=CpuConfig(cores=8),
+        buffer=BufferConfig(chunk_bytes=1 * MB, page_bytes=64 * KB,
+                            capacity_chunks=32),
+    )
+    schema = _schema()
+    tuples_per_chunk = int(
+        config.buffer.chunk_bytes // schema.tuple_logical_bytes
+    )
+    cluster = ClusterConfig(
+        shards=4,
+        coordinator=CoordinatorConfig(
+            classify_s=0.05,
+            scatter_per_subquery_s=0.02,
+            gather_per_subquery_s=0.02,
+            merge_per_query_s=0.05,
+        ),
+        network=NetworkConfig(per_message_s=0.0001),
+    )
+    shard_map = ShardMap.from_cluster_config(cluster, NUM_CHUNKS)
+    abms = [
+        make_nsm_abm(
+            NSMTableLayout.from_buffer_config(
+                schema,
+                shard_map.chunks_owned(shard) * tuples_per_chunk,
+                config.buffer,
+            ),
+            config,
+            "relevance",
+            capacity_chunks=16,
+        )
+        for shard in range(cluster.shards)
+    ]
+    layout = _layout(schema, config)
+    fast = QueryFamily("F", cpu_per_chunk=0.0005)
+    templates = (QueryTemplate(fast, 25), QueryTemplate(fast, 100))
+    arrivals = poisson_arrivals(templates, layout, 4.0, 24, seed=ARRIVAL_SEED)
+    result = run_cluster_service(arrivals, config, abms, cluster)
+    blame = result.slo.blame
+    assert blame is not None
+    share = _tail_share(blame.overall, COORDINATOR_PHASES)
+    top_phase, _ = blame.overall.top_phases(n=1, tail=True)[0]
+    assert share > PIN_SHARE, (
+        f"coordinator-saturated run pinned only {share:.0%} of p95 blame "
+        f"on coordinator phases (need > {PIN_SHARE:.0%})"
+    )
+    assert top_phase in COORDINATOR_PHASES, (
+        f"coordinator-saturated run's top tail phase is {top_phase}"
+    )
+    return result, {
+        "workload": "coordinator-saturated",
+        "tail_coordinator_share": share,
+        "top_tail_phase": top_phase,
+        "tail_threshold_s": blame.overall.tail_threshold_s,
+        "queries": blame.overall.count,
+    }
+
+
+def _experiment():
+    overhead = _measure_overhead()
+    disk_blame, disk_stats = _disk_starved()
+    coord_result, coord_stats = _coordinator_saturated()
+    return {
+        "overhead": overhead,
+        "disk": disk_stats,
+        "coordinator": coord_stats,
+        "disk_blame": disk_blame,
+        "coordinator_result": coord_result,
+    }
+
+
+def _report(stats) -> None:
+    print_banner(
+        f"Blame attribution: always-on stamping "
+        f"(budget {OVERHEAD_BUDGET}x baseline)"
+    )
+    overhead = stats["overhead"]
+    print(
+        f"breakdowns off {overhead['baseline_wall_clock_s']:.4f}s, "
+        f"on {overhead['stamped_wall_clock_s']:.4f}s "
+        f"({overhead['overhead_ratio']:.3f}x, budget {overhead['budget']}x, "
+        f"{overhead['queries']} queries)"
+    )
+    disk = stats["disk"]
+    print(
+        f"disk-starved: {disk['tail_disk_share']:.0%} of p95 blame on disk "
+        f"phases (p95 = {disk['tail_threshold_s']:.3f}s)"
+    )
+    coord = stats["coordinator"]
+    print(
+        f"coordinator-saturated: {coord['tail_coordinator_share']:.0%} of "
+        f"p95 blame on coordinator phases, top phase "
+        f"{coord['top_tail_phase']}"
+    )
+    print()
+    print(render_blame_table(stats["coordinator_result"].slo,
+                             title="Coordinator-saturated blame"))
+
+
+def _write_artifacts(stats) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    rows = [
+        {**stats["overhead"], "workload": "overhead"},
+        stats["disk"],
+        stats["coordinator"],
+    ]
+    core_path = update_bench_core(
+        "postmortem",
+        rows,
+        workload={
+            "num_chunks": NUM_CHUNKS,
+            "samples": SAMPLES,
+            "overhead_budget": OVERHEAD_BUDGET,
+            "pin_share": PIN_SHARE,
+        },
+    )
+    results_path = os.path.join(OUT_DIR, "blame_attribution_results.json")
+    payload = {
+        "overhead": stats["overhead"],
+        "disk": stats["disk"],
+        "coordinator": stats["coordinator"],
+    }
+    with open(results_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {results_path} and merged section 'postmortem' "
+          f"into {core_path}")
+
+
+def bench_blame_attribution(benchmark):
+    stats = run_once(benchmark, _experiment)
+    _report(stats)
+
+
+if __name__ == "__main__":
+    stats = _experiment()
+    _report(stats)
+    _write_artifacts(stats)

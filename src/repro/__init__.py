@@ -51,7 +51,7 @@ from repro.sim import (
 )
 from repro.metrics import PolicyComparison, compare_runs
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "SystemConfig",

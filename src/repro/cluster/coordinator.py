@@ -42,7 +42,7 @@ them.  ``tests/test_cluster_equivalence.py`` pins this bit for bit.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.config import (
@@ -57,6 +57,18 @@ from repro.core.cscan import ScanRequest
 from repro.metrics.stats import LatencySummary, percentile
 from repro.metrics.timeline import validate_timeline
 from repro.net.resources import CoordinatorResources, CoordinatorSLO
+from repro.obs.alerts import (
+    Alert,
+    AlertPolicy,
+    QueryCompletion,
+    evaluate_alerts,
+    render_health_digest,
+)
+from repro.obs.postmortem import (
+    LatencyBreakdown,
+    assemble_cluster_breakdown,
+    build_blame_report,
+)
 from repro.obs.profile import SchedulerProfile
 from repro.obs.recorder import (
     FlightRecorder,
@@ -105,6 +117,31 @@ class ClusterQueryRecord:
     loads_triggered: int = 0
     #: Workload class the front door routed the query to.
     query_class: str = DEFAULT_QUERY_CLASS
+    #: Critical-path stamps: the last-completing sub-query (the one whose
+    #: finish completed the whole query) defines the chain the end-to-end
+    #: latency is attributed along.  ``critical_shard < 0`` means the
+    #: stamps were not recorded (hand-built records).
+    critical_shard: int = -1
+    #: Shard-side id of the critical sub-query (the whole query id on the
+    #: legacy path, a synthesized id in resilient mode).
+    critical_sub_id: Optional[int] = None
+    #: When the coordinator CPU finished classify+scatter for this query.
+    ready_time: float = 0.0
+    #: When the critical sub-query was dispatched (equals ``ready_time``
+    #: for originals; later for re-scatters, orphans and hedges).
+    dispatch_time: float = 0.0
+    #: When the critical sub-query's scatter message reached its shard.
+    delivered_time: float = 0.0
+    #: When the critical sub-query finished on its shard.
+    shard_finish_time: float = 0.0
+    #: When its gather message reached the coordinator.
+    gather_arrived_time: float = 0.0
+    #: How the critical sub-query came to be dispatched: ``"original"``,
+    #: ``"rescatter"``, ``"orphan"`` or ``"hedge"``.
+    critical_origin: str = "original"
+    #: Always-on end-to-end latency attribution along the critical path
+    #: (assembled after the run; ``None`` for hand-built records).
+    breakdown: Optional[LatencyBreakdown] = None
 
     @property
     def num_subqueries(self) -> int:
@@ -142,6 +179,12 @@ class _OpenQuery:
     #: hedges can materialise fresh sub-queries; the legacy path never
     #: needs it).
     spec: Optional[ScanRequest] = None
+    #: When the coordinator CPU finished classify+scatter (``admit_time``
+    #: on the free path).
+    ready: float = 0.0
+    #: Legacy-path per-shard scatter delivery times (resilient mode stamps
+    #: each :class:`_SubQuery` instead).
+    delivered: Dict[int, float] = field(default_factory=dict)
 
 
 #: Synthesized sub-query ids start far above any front-door query id, so a
@@ -167,6 +210,12 @@ class _SubQuery:
     submit_time: float
     #: ``sub_id`` of the copy this one hedges, or ``None`` for originals.
     hedge_of: Optional[int] = None
+    #: When this copy's scatter message reached its shard.
+    delivered: float = 0.0
+    #: Why this copy was dispatched: ``"original"`` (first scatter),
+    #: ``"rescatter"`` (its predecessor's shard was killed), ``"orphan"``
+    #: (parked until a repair) or ``"hedge"`` (straggler duplicate).
+    origin: str = "original"
 
 
 class ClusterCoordinator:
@@ -323,7 +372,7 @@ class ClusterCoordinator:
             raise SimulationError(
                 f"query {entry.spec.query_id} planned into zero sub-queries"
             )
-        self._open[entry.spec.query_id] = _OpenQuery(
+        open_query = _OpenQuery(
             submit_time=entry.submit_time,
             admit_time=now,
             name=entry.spec.name,
@@ -331,7 +380,9 @@ class ClusterCoordinator:
             num_chunks=entry.spec.num_chunks,
             shards=tuple(plan),
             remaining=len(plan),
+            ready=now,
         )
+        self._open[entry.spec.query_id] = open_query
         if self._obs is not None:
             self._obs.instant(
                 "cluster.scatter",
@@ -355,6 +406,7 @@ class ClusterCoordinator:
             ready = self.resources.admit(
                 now, entry.spec.query_id, len(plan)
             )
+            open_query.ready = ready
             for shard, sub_spec in plan.items():
                 admitted = AdmittedQuery(
                     spec=sub_spec,
@@ -365,6 +417,7 @@ class ClusterCoordinator:
                 delivered = self.resources.deliver_scatter(
                     ready, shard, entry.spec.query_id
                 )
+                open_query.delivered[shard] = delivered
                 self._pending[shard].append((delivered, admitted))
             return None
         direct: Optional[AdmittedQuery] = None
@@ -375,6 +428,7 @@ class ClusterCoordinator:
                 submit_time=entry.submit_time,
             )
             self.subqueries_scattered[shard] += 1
+            open_query.delivered[shard] = now
             if shard == direct_shard:
                 direct = admitted
             else:
@@ -420,6 +474,7 @@ class ClusterCoordinator:
         ready = now
         if self.resources is not None:
             ready = self.resources.admit(now, query_id, len(groups))
+        self._open[query_id].ready = ready
         for primary in primaries:
             self._dispatch_group(query_id, primary, groups[primary], ready)
 
@@ -451,12 +506,16 @@ class ClusterCoordinator:
         now: float,
         exclude: Tuple[int, ...] = (),
         hedge_of: Optional[int] = None,
+        origin: str = "original",
     ) -> Optional[int]:
         """Materialise one chunk group on the best live replica.
 
         Returns the chosen shard, or ``None`` when no replica is live (the
         group is parked as an orphan until a repair).  ``exclude`` keeps a
-        hedge off the shard already running the original.
+        hedge off the shard already running the original.  ``origin``
+        labels why this copy exists, so the postmortem breakdown can
+        bucket its pre-dispatch wait (re-scatter / orphan / hedge
+        penalty vs plain coordinator work).
         """
         target = self._pick_replica(primary, exclude)
         if target is None:
@@ -490,6 +549,7 @@ class ClusterCoordinator:
             scatter_time=now,
             submit_time=open_query.submit_time,
             hedge_of=hedge_of,
+            origin=origin,
         )
         self._subs[sub_id] = sub
         self._groups.setdefault((query_id, primary), []).append(sub_id)
@@ -499,6 +559,7 @@ class ClusterCoordinator:
         delivered = now
         if self.resources is not None:
             delivered = self.resources.deliver_scatter(now, target, query_id)
+        sub.delivered = delivered
         self._pending[target].append(
             (
                 delivered,
@@ -547,6 +608,7 @@ class ClusterCoordinator:
             )
         open_query.remaining -= 1
         completion = now
+        arrived = now
         if self.resources is not None:
             arrived = self.resources.deliver_gather(now, shard, query_id)
             completion = self.resources.process_gather(
@@ -592,6 +654,16 @@ class ClusterCoordinator:
                 num_chunks=open_query.num_chunks,
                 shards=open_query.shards,
                 query_class=open_query.query_class,
+                # The last sub-query to finish IS the critical path; on the
+                # legacy path its shard-side id is the whole query id and
+                # originals dispatch the moment the coordinator is ready.
+                critical_shard=shard,
+                critical_sub_id=query_id,
+                ready_time=open_query.ready,
+                dispatch_time=open_query.ready,
+                delivered_time=open_query.delivered.get(shard, open_query.ready),
+                shard_finish_time=now,
+                gather_arrived_time=arrived,
             )
         )
         if completion > now:
@@ -643,6 +715,7 @@ class ClusterCoordinator:
             )
         open_query.remaining -= 1
         completion = now
+        arrived = now
         if self.resources is not None:
             arrived = self.resources.deliver_gather(now, shard, query_id)
             completion = self.resources.process_gather(
@@ -690,6 +763,17 @@ class ClusterCoordinator:
                 num_chunks=open_query.num_chunks,
                 shards=open_query.shards,
                 query_class=open_query.query_class,
+                # The winning copy of the last chunk group to gather — a
+                # hedge winner or re-scattered copy carries its origin so
+                # the pre-dispatch wait lands in the right penalty bucket.
+                critical_shard=shard,
+                critical_sub_id=sub_id,
+                ready_time=open_query.ready,
+                dispatch_time=sub.scatter_time,
+                delivered_time=sub.delivered,
+                shard_finish_time=now,
+                gather_arrived_time=arrived,
+                critical_origin=sub.origin,
             )
         )
         if completion > now:
@@ -776,7 +860,8 @@ class ClusterCoordinator:
                 continue  # A hedge copy elsewhere still covers the group.
             del self._groups[(sub.query_id, sub.primary)]
             target = self._dispatch_group(
-                sub.query_id, sub.primary, sub.global_chunks, now
+                sub.query_id, sub.primary, sub.global_chunks, now,
+                origin="rescatter",
             )
             if target is not None:
                 self.rescatters += 1
@@ -855,7 +940,9 @@ class ClusterCoordinator:
             orphans = self._orphans
             self._orphans = []
             for query_id, primary, chunks in orphans:
-                target = self._dispatch_group(query_id, primary, chunks, now)
+                target = self._dispatch_group(
+                    query_id, primary, chunks, now, origin="orphan"
+                )
                 if target is not None:
                     self.rescatters += 1
                     if self._obs is not None:
@@ -947,6 +1034,7 @@ class ClusterCoordinator:
                 now,
                 exclude=(sub.shard,),
                 hedge_of=sub.sub_id,
+                origin="hedge",
             )
             if target is None:
                 continue
@@ -1160,6 +1248,14 @@ class ClusterResult:
     #: Replication/failure/hedging accounting (``None`` unless the cluster
     #: configuration is resilient); also threaded into ``slo.availability``.
     availability: Optional[AvailabilitySLO] = None
+    #: Firing episodes of the run's alert policy (empty when no policy was
+    #: supplied or nothing fired).
+    alerts: Tuple[Alert, ...] = ()
+
+    def health_digest(self, title: str = "Cluster health digest") -> str:
+        """Rendered incident summary: every firing alert with its window,
+        peak and top-blamed latency phase (or a single all-clear line)."""
+        return render_health_digest(self.alerts, self.duration, title=title)
 
     @property
     def duration(self) -> float:
@@ -1199,6 +1295,7 @@ def run_cluster_service(
     record_trace: bool = False,
     mpl_controller: Optional[MPLController] = None,
     obs: ObservabilityLike = None,
+    alerts: Optional[AlertPolicy] = None,
 ) -> ClusterResult:
     """Serve one arrival sequence with a sharded scatter-gather cluster.
 
@@ -1214,6 +1311,13 @@ def run_cluster_service(
     ``"frontdoor"`` process), the coordinator's scatter/gather track and
     every shard simulator (processes ``"shard0"``, ``"shard1"``, ...); the
     recorder comes back on :attr:`ClusterResult.obs`.
+
+    ``alerts`` optionally evaluates an :class:`repro.obs.alerts.AlertPolicy`
+    against the finished run — burn-rate rules over the whole-query
+    completions and threshold rules over the per-shard disk
+    (``"shard<i>.disk"``) and coordinator (``"coordinator.cpu"`` /
+    ``"coordinator.nic"``) busy timelines — returning the firing episodes
+    on :attr:`ClusterResult.alerts`.
     """
     recorder = build_flight_recorder(obs)
     abms = list(shard_abms)
@@ -1309,6 +1413,37 @@ def run_cluster_service(
         for record in records:
             record.loads_triggered = loads.get(record.query_id, 0)
 
+    # Critical-path attribution: chain every record's coordinator stamps
+    # with its critical sub-query's shard-side execution breakdown.  The
+    # winning sub-query always completed on its shard, so its QueryResult
+    # (and breakdown) exists even under kills, hedges and re-scatters.
+    queries_by_shard = [
+        {query.query_id: query for query in run.queries} for run in shard_runs
+    ]
+    for record in records:
+        if record.critical_shard < 0 or record.critical_sub_id is None:
+            continue
+        sub_result = queries_by_shard[record.critical_shard].get(
+            record.critical_sub_id
+        )
+        if sub_result is None or sub_result.breakdown is None:
+            continue
+        record.breakdown = assemble_cluster_breakdown(
+            submit=record.submit_time,
+            admit=record.admit_time,
+            ready=record.ready_time,
+            dispatch=record.dispatch_time,
+            delivered=record.delivered_time,
+            shard_start=sub_result.arrival_time,
+            shard_execution=sub_result.breakdown,
+            shard_finish=record.shard_finish_time,
+            gather_arrived=record.gather_arrived_time,
+            finish=record.finish_time,
+            critical_shard=record.critical_shard,
+            origin=record.critical_origin,
+            where=f"cluster query {record.query_id} breakdown",
+        )
+
     rate = offered_rate(arrivals)
     shard_reports = [
         build_slo_report(
@@ -1351,6 +1486,36 @@ def run_cluster_service(
         duration=coordinator_duration,
         availability=availability,
     )
+    blame = build_blame_report(
+        (record.query_class, record.breakdown) for record in records
+    )
+    if blame.overall.count:
+        slo = replace(slo, blame=blame)
+    fired: Tuple[Alert, ...] = ()
+    if alerts is not None and not alerts.is_empty:
+        completions = [
+            QueryCompletion(
+                finish_time=record.finish_time,
+                query_class=record.query_class,
+                breakdown=record.breakdown,
+            )
+            for record in records
+            if record.breakdown is not None
+        ]
+        busy_series: Dict[str, Tuple[Tuple[float, float], ...]] = {
+            f"shard{shard}.disk": run.disk_busy_timeline
+            for shard, run in enumerate(shard_runs)
+        }
+        if resources is not None:
+            busy_series.update(resources.busy_timelines())
+        fired = evaluate_alerts(
+            alerts,
+            completions,
+            busy_series,
+            makespan,
+            obs=recorder,
+            where="cluster alerts",
+        )
     mpl_timeline = tuple(coordinator.frontdoor.mpl_timeline)
     validate_timeline(mpl_timeline, where="cluster MPL timeline")
     return ClusterResult(
@@ -1366,6 +1531,7 @@ def run_cluster_service(
         coordinator=coordinator_slo,
         coordinator_timelines=coordinator_timelines,
         availability=availability,
+        alerts=fired,
     )
 
 

@@ -67,6 +67,10 @@ class _SingleServerQueue:
         #: ``(finish_time, cumulative utilisation)`` step points, one per
         #: non-zero charge.  Monotone in time (see class docstring).
         self.utilisation_timeline: List[Tuple[float, float]] = []
+        #: ``(finish_time, cumulative busy seconds)`` step points, one per
+        #: non-zero charge — the raw series windowed threshold alerts need
+        #: (monotone in both coordinates, same argument as above).
+        self.busy_timeline: List[Tuple[float, float]] = []
 
     def _serve(self, now: float, seconds: float, what: str) -> Charge:
         if not math.isfinite(now) or now < 0.0:
@@ -90,6 +94,7 @@ class _SingleServerQueue:
                 self.max_queue_delay = delay
         if seconds > 0.0 and done > 0.0:
             self.utilisation_timeline.append((done, self.busy_seconds / done))
+            self.busy_timeline.append((done, self.busy_seconds))
         return Charge(start=start, done=done, queue_delay=delay)
 
     # ------------------------------------------------------------- reporting

@@ -227,6 +227,25 @@ class CoordinatorResources:
             validate_timeline(points, where=f"{name} utilisation timeline")
         return series
 
+    def busy_timelines(self) -> Dict[str, Tuple[Tuple[float, float], ...]]:
+        """Validated cumulative ``(time, busy_seconds)`` series per resource.
+
+        These feed the windowed threshold alerts in
+        :mod:`repro.obs.alerts` (``"coordinator.cpu"`` /
+        ``"coordinator.nic"`` / ``"shard<i>.nic"``), which convert them to
+        trailing-window utilisation; both coordinates are monotone by
+        construction of :class:`repro.net.cost._SingleServerQueue`.
+        """
+        series: Dict[str, Tuple[Tuple[float, float], ...]] = {
+            "coordinator.cpu": tuple(self.cpu.busy_timeline),
+            "coordinator.nic": tuple(self.nic.busy_timeline),
+        }
+        for shard, nic in enumerate(self.shard_nics):
+            series[f"shard{shard}.nic"] = tuple(nic.busy_timeline)
+        for name, points in series.items():
+            validate_timeline(points, where=f"{name} busy timeline")
+        return series
+
     def report(self, duration: float) -> CoordinatorSLO:
         """Roll the books up into a :class:`CoordinatorSLO` for ``duration``."""
         cpu_util = self.cpu.utilisation(duration)

@@ -16,12 +16,31 @@ uninstrumented code.
 * :mod:`repro.obs.profile` -- :class:`SchedulerProfile`, the per-phase
   wall-clock breakdown of the event core;
 * :mod:`repro.obs.export` -- JSONL and Perfetto-loadable Chrome trace-event
-  JSON exporters plus a structural validator.
+  JSON exporters plus a structural validator;
+* :mod:`repro.obs.postmortem` -- always-on per-query
+  :class:`LatencyBreakdown` (critical-path latency attribution; phase
+  seconds sum exactly to end-to-end latency) and the per-class
+  :class:`BlameReport` aggregation — the one subsystem here that is *on*
+  by default, because its stamps are plain floats on existing events;
+* :mod:`repro.obs.alerts` -- multi-window SLO error-budget burn-rate
+  detectors and windowed utilisation threshold alerts over the run's busy
+  timelines, rendered as a health digest naming the top-blamed phase.
 """
 
 from typing import Optional
 
 from repro.metrics.timeline import default_window, render_timeline
+from repro.obs.alerts import (
+    Alert,
+    AlertPolicy,
+    BurnRateRule,
+    QueryCompletion,
+    ThresholdRule,
+    burn_rate_points,
+    evaluate_alerts,
+    render_health_digest,
+    utilisation_points,
+)
 from repro.obs.events import TraceEvent
 from repro.obs.export import (
     chrome_trace,
@@ -32,6 +51,17 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.postmortem import (
+    BREAKDOWN_PHASES,
+    CONSERVATION_TOL,
+    BlameReport,
+    ClassBlame,
+    LatencyBreakdown,
+    assemble_cluster_breakdown,
+    build_blame_report,
+    build_breakdown,
+    build_single_node_breakdown,
+)
 from repro.obs.profile import (
     PhaseStats,
     SchedulerProfile,
@@ -91,4 +121,22 @@ __all__ = [
     "render_run_timelines",
     "render_timeline",
     "default_window",
+    "LatencyBreakdown",
+    "BlameReport",
+    "ClassBlame",
+    "build_breakdown",
+    "build_single_node_breakdown",
+    "assemble_cluster_breakdown",
+    "build_blame_report",
+    "BREAKDOWN_PHASES",
+    "CONSERVATION_TOL",
+    "Alert",
+    "AlertPolicy",
+    "BurnRateRule",
+    "ThresholdRule",
+    "QueryCompletion",
+    "evaluate_alerts",
+    "render_health_digest",
+    "burn_rate_points",
+    "utilisation_points",
 ]

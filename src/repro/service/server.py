@@ -20,11 +20,19 @@ analogue of :func:`repro.sim.sweeps.compare_policies`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import ServiceConfig, SystemConfig
 from repro.metrics.timeline import validate_timeline
+from repro.obs.alerts import (
+    Alert,
+    AlertPolicy,
+    QueryCompletion,
+    evaluate_alerts,
+    render_health_digest,
+)
+from repro.obs.postmortem import build_blame_report
 from repro.obs.recorder import (
     FlightRecorder,
     ObservabilityLike,
@@ -106,11 +114,19 @@ class ServiceResult:
     #: observability was not requested); holds the trace events, the
     #: metrics timelines and the recorder-overhead accounting.
     obs: Optional[FlightRecorder] = None
+    #: Alert episodes that fired during the run (empty when no
+    #: :class:`repro.obs.alerts.AlertPolicy` was evaluated, or when the run
+    #: stayed healthy).
+    alerts: Tuple[Alert, ...] = field(default_factory=tuple)
 
     @property
     def final_mpl(self) -> int:
         """The MPL in force when the run ended."""
         return self.mpl_timeline[-1][1] if self.mpl_timeline else 0
+
+    def health_digest(self, title: str = "Service health digest") -> str:
+        """Render the run's firing alerts (or a clean bill of health)."""
+        return render_health_digest(self.alerts, self.run.total_time, title=title)
 
 
 def run_service(
@@ -121,6 +137,7 @@ def run_service(
     record_trace: bool = False,
     mpl_controller: Optional[MPLController] = None,
     obs: ObservabilityLike = None,
+    alerts: Optional[AlertPolicy] = None,
 ) -> ServiceResult:
     """Run one arrival sequence through the front door against one ABM.
 
@@ -136,6 +153,11 @@ def run_service(
     disk volumes; the recorder comes back on ``ServiceResult.obs``.  The
     default (``None``) records nothing and leaves the run bit-for-bit
     identical to an unobserved one.
+
+    ``alerts`` optionally evaluates an :class:`repro.obs.alerts.AlertPolicy`
+    against the finished run — burn-rate rules over the per-query
+    completions and threshold rules over the ``"disk"`` busy timeline —
+    returning the firing episodes on :attr:`ServiceResult.alerts`.
     """
     recorder = build_flight_recorder(obs)
     admission = AdmissionController(
@@ -160,12 +182,37 @@ def run_service(
         admitted=admission.admitted,
         classes=source.frontdoor.class_reports(),
     )
+    blame = build_blame_report(
+        (query.query_class, query.breakdown) for query in run.queries
+    )
+    if blame.overall.count:
+        slo = replace(slo, blame=blame)
+    fired: Tuple[Alert, ...] = ()
+    if alerts is not None and not alerts.is_empty:
+        completions = [
+            QueryCompletion(
+                finish_time=query.finish_time,
+                query_class=query.query_class,
+                breakdown=query.breakdown,
+            )
+            for query in run.queries
+            if query.breakdown is not None
+        ]
+        fired = evaluate_alerts(
+            alerts,
+            completions,
+            {"disk": run.disk_busy_timeline},
+            run.total_time,
+            obs=recorder,
+            where="service alerts",
+        )
     return ServiceResult(
         run=run,
         slo=slo,
         service=service,
         mpl_timeline=mpl_timeline,
         obs=recorder,
+        alerts=fired,
     )
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.metrics.report import format_table
 from repro.metrics.stats import LatencySummary
 from repro.net.resources import CoordinatorSLO
+from repro.obs.postmortem import BlameReport
 from repro.sim.results import RunResult
 
 
@@ -186,6 +187,12 @@ class SLOReport:
     #: whose configuration is resilient (replicas > 1, a failure schedule,
     #: or hedging); ``None`` preserves frozen equality on the legacy path.
     availability: Optional[AvailabilitySLO] = None
+    #: Per-class latency blame tables aggregated from the always-on
+    #: :class:`repro.obs.postmortem.LatencyBreakdown` stamps ("interactive
+    #: p95 = 61% disk transfer, 22% admission wait").  Deliberately *not*
+    #: part of :meth:`as_dict`, so SLO dictionaries stay bit-for-bit
+    #: identical to pre-postmortem runs.
+    blame: Optional[BlameReport] = None
 
     @property
     def num_volumes(self) -> int:
@@ -526,6 +533,48 @@ def render_class_slo_table(
                 round(cls.latency.p99, 2),
                 round(cls.queue_wait.p95, 2),
                 cls.max_queue_len,
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def render_blame_table(
+    report: SLOReport,
+    title: Optional[str] = "Latency blame (critical-path attribution)",
+    top_n: int = 3,
+) -> str:
+    """One row per workload class: where the latency actually went.
+
+    Renders the :attr:`SLOReport.blame` section built from the always-on
+    per-query breakdowns — mean blame over every completed query and tail
+    blame over the queries at or above the class's p95 (the row that reads
+    "interactive p95 = 61% disk transfer, 22% admission wait").  Reports
+    without breakdowns render a single placeholder row.
+    """
+
+    def _phases(shares: Sequence[Tuple[str, float]]) -> str:
+        if not shares:
+            return "-"
+        return ", ".join(
+            f"{share:.0%} {name}" for name, share in shares
+        )
+
+    headers = [
+        "class", "queries", "p95 s", "tail blame", "overall blame",
+    ]
+    rows: List[List[object]] = []
+    blame = report.blame
+    if blame is None:
+        rows.append([report.policy, "-", "-", "-", "-"])
+        return format_table(headers, rows, title=title)
+    for section in (blame.overall,) + blame.classes:
+        rows.append(
+            [
+                section.query_class,
+                section.count,
+                round(section.tail_threshold_s, 3),
+                _phases(section.top_phases(top_n, tail=True)),
+                _phases(section.top_phases(top_n, tail=False)),
             ]
         )
     return format_table(headers, rows, title=title)

@@ -15,6 +15,7 @@ from repro.common.config import DEFAULT_QUERY_CLASS
 from repro.disk.trace import IOTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.postmortem import LatencyBreakdown
     from repro.obs.profile import SchedulerProfile
 
 
@@ -41,6 +42,12 @@ class QueryResult:
     #: Workload class of the query (:data:`DEFAULT_QUERY_CLASS` unless the
     #: workload declares classes), used by the per-class SLO tables.
     query_class: str = DEFAULT_QUERY_CLASS
+    #: Always-on postmortem attribution
+    #: (:class:`repro.obs.postmortem.LatencyBreakdown`): the end-to-end
+    #: latency decomposed into non-overlapping phases that sum exactly back
+    #: to it.  ``None`` only for hand-built results or runs that disabled
+    #: breakdowns; never part of the scheduling fingerprint.
+    breakdown: Optional["LatencyBreakdown"] = None
 
     @property
     def latency(self) -> float:
@@ -116,6 +123,11 @@ class RunResult:
     #: split over register / select_chunk / next_load / complete_load /
     #: finish_chunk / unregister.  ``None`` for hand-built results.
     scheduler_profile: Optional["SchedulerProfile"] = None
+    #: Cumulative disk busy-seconds sampled at every disk completion:
+    #: ``(time, total_busy_seconds_so_far)`` points, monotone in both
+    #: coordinates.  Feeds the threshold alerts in :mod:`repro.obs.alerts`;
+    #: empty for hand-built results.
+    disk_busy_timeline: Tuple[Tuple[float, float], ...] = ()
 
     # ------------------------------------------------------------ aggregates
     @property

@@ -46,6 +46,7 @@ from repro.core.ops import DSMLoadOperation, LoadOperation
 from repro.disk.multivolume import MultiVolumeDisk
 from repro.disk.request import IORequest, RequestKind
 from repro.disk.trace import IOTrace
+from repro.obs.postmortem import build_single_node_breakdown
 from repro.obs.profile import SchedulerProfile
 from repro.obs.recorder import (
     FlightRecorder,
@@ -82,11 +83,19 @@ class _QueryRun:
     #: Sequence number of the query's latest dispatch; stale heap entries
     #: (from a dispatch the query has since left) carry an older number.
     cpu_seq: int = -1
-    #: Simulated time of the latest dispatch and the chunk it attached
-    #: (only maintained while a flight recorder is attached; used to emit
-    #: the CPU service-interval span at chunk completion).
+    #: Simulated time of the latest dispatch and the chunk it attached —
+    #: always maintained: the postmortem stamps close every CPU span at
+    #: chunk completion, and the flight recorder reuses them for its spans.
     dispatch_time: float = 0.0
     dispatch_chunk: Optional[int] = None
+    #: When the query last blocked with no chunk to crunch; the stall ends
+    #: at the disk completion that wakes it.
+    block_start: float = 0.0
+    #: Always-on postmortem accumulators: stalled time split into the waking
+    #: operation's seek / transfer shares, and on-CPU execution time.
+    stall_seek_s: float = 0.0
+    stall_transfer_s: float = 0.0
+    cpu_s: float = 0.0
 
 
 class ScanSimulator:
@@ -100,6 +109,7 @@ class ScanSimulator:
         record_trace: bool = False,
         obs: ObservabilityLike = None,
         obs_process: str = "service",
+        breakdowns: bool = True,
     ) -> None:
         if isinstance(workload, QuerySource):
             self._source = workload
@@ -118,6 +128,22 @@ class ScanSimulator:
         self._disk = MultiVolumeDisk(config.disk, self._volume_layout)
         self._num_volumes = self._disk.num_volumes
         self._trace = IOTrace() if record_trace else None
+        #: Always-on latency attribution.  The stamps are pure arithmetic on
+        #: times the event core already computes (no tracing buffer, no
+        #: allocation on the hot path) and never influence scheduling;
+        #: ``breakdowns=False`` exists only so the overhead benchmark can
+        #: measure the stamping cost against a stamp-free baseline.
+        self._breakdowns = breakdowns
+        #: Seek/transfer split of each volume's in-flight operation, used to
+        #: apportion the stall of every query the completion wakes.
+        self._io_segments: Dict[int, Tuple[float, float]] = {}
+        #: Cumulative disk busy-seconds sampled at each disk completion —
+        #: the threshold-alert input series.  The running total is kept
+        #: incrementally (charged when an operation is issued, exactly like
+        #: the volumes charge ``busy_time`` at serve time) so sampling it
+        #: does not re-sum the volumes on every completion batch.
+        self._disk_busy_points: List[Tuple[float, float]] = []
+        self._disk_busy_s = 0.0
 
         self._now = 0.0
         self._queries: Dict[int, _QueryRun] = {}
@@ -394,9 +420,16 @@ class ScanSimulator:
             due.append(volume)
         # Volume order, matching the naive sorted() walk over the done map.
         due.sort()
+        breakdowns = self._breakdowns
         for volume in due:
             operation = self._inflight.pop(volume)
             del self._disk_done[volume]
+            seek_share = 0.0
+            if breakdowns:
+                seek, transfer = self._io_segments.pop(volume, (0.0, 0.0))
+                duration = seek + transfer
+                if duration > 0.0:
+                    seek_share = seek / duration
             if self._trace is not None:
                 if isinstance(operation, DSMLoadOperation):
                     for block in operation.blocks:
@@ -426,7 +459,21 @@ class ScanSimulator:
                 )
             for query_id in woken:
                 if query_id in self._blocked:
+                    if breakdowns:
+                        # Close the blocked query's stall: it only ever wakes
+                        # from a disk completion, so the whole interval since
+                        # it blocked was a disk wait, split in the waking
+                        # operation's own seek:transfer ratio (a zero-duration
+                        # operation counts entirely as transfer).
+                        run = self._queries[query_id]
+                        stall = self._now - run.block_start
+                        if stall > 0.0:
+                            stall_seek = stall * seek_share
+                            run.stall_seek_s += stall_seek
+                            run.stall_transfer_s += stall - stall_seek
                     self._dispatch(query_id)
+        if due and breakdowns:
+            self._disk_busy_points.append((self._now, self._disk_busy_s))
 
     def _process_cpu_completions(self) -> None:
         # Pop every due completion from the heap instead of scanning all
@@ -493,12 +540,15 @@ class ScanSimulator:
 
     def _begin_io(self, volume: int, operation: AnyLoadOp) -> None:
         """Start serving one load operation on an idle volume."""
+        model = self._disk.volumes[volume]
+        breakdowns = self._breakdowns
         if isinstance(operation, DSMLoadOperation):
             # Each column block is a separate physical request (different
             # column files), so each pays its own positioning cost.  The
             # running ``duration`` prefix timestamps each block's recorder
             # span at its actual start on the volume.
             duration = 0.0
+            seek = 0.0
             for block in operation.blocks:
                 duration += self._disk.serve(
                     IORequest(
@@ -510,6 +560,8 @@ class ScanSimulator:
                     ),
                     now=self._now + duration,
                 )
+                if breakdowns:
+                    seek += model.last_seek_s
         else:
             duration = self._disk.serve(
                 IORequest(
@@ -520,6 +572,10 @@ class ScanSimulator:
                 ),
                 now=self._now,
             )
+            seek = model.last_seek_s
+        if breakdowns:
+            self._io_segments[volume] = (seek, max(0.0, duration - seek))
+            self._disk_busy_s += duration
         self._inflight[volume] = operation
         done = self._now + duration
         self._disk_done[volume] = done
@@ -557,6 +613,7 @@ class ScanSimulator:
         if chunk is None:
             run.blocked = True
             run.processing = False
+            run.block_start = self._now
             self._blocked.add(query_id)
             self._running.pop(query_id, None)
             if self._obs is not None and not self._abm.handle(query_id).finished:
@@ -567,9 +624,8 @@ class ScanSimulator:
             return
         run.blocked = False
         run.processing = True
-        if self._obs is not None:
-            run.dispatch_time = self._now
-            run.dispatch_chunk = chunk
+        run.dispatch_time = self._now
+        run.dispatch_chunk = chunk
         run.cpu_target = self._vtime + max(_EPS, run.spec.cpu_per_chunk)
         self._dispatch_seq += 1
         run.cpu_seq = self._dispatch_seq
@@ -582,6 +638,8 @@ class ScanSimulator:
     def _finish_chunk(self, query_id: int) -> None:
         run = self._running.pop(query_id)
         run.processing = False
+        if self._breakdowns:
+            run.cpu_s += self._now - run.dispatch_time
         if self._obs is not None:
             self._obs.complete(
                 "cpu.chunk", "cpu", run.dispatch_time,
@@ -610,6 +668,21 @@ class ScanSimulator:
                 loads_triggered=self._abm.loads_triggered.get(query_id, 0),
             )
         spec = run.spec
+        breakdown = None
+        if self._breakdowns:
+            submit = (
+                run.submit_time
+                if run.submit_time is not None
+                else run.arrival_time
+            )
+            breakdown = build_single_node_breakdown(
+                self._now - submit,
+                admission_wait=max(0.0, run.arrival_time - submit),
+                disk_seek=run.stall_seek_s,
+                disk_transfer=run.stall_transfer_s,
+                cpu_execute=run.cpu_s,
+                where=f"query {query_id} breakdown",
+            )
         self._query_results.append(
             QueryResult(
                 query_id=query_id,
@@ -623,6 +696,7 @@ class ScanSimulator:
                 delivery_order=delivery_order,
                 submit_time=run.submit_time,
                 query_class=spec.query_class,
+                breakdown=breakdown,
             )
         )
         run.done = True
@@ -661,6 +735,7 @@ class ScanSimulator:
             scheduler_profile=SchedulerProfile.from_counts(
                 dict(self._phase_calls), dict(self._phase_seconds)
             ),
+            disk_busy_timeline=tuple(self._disk_busy_points),
         )
 
 
@@ -670,16 +745,21 @@ def run_simulation(
     abm: AnyABM,
     record_trace: bool = False,
     obs: ObservabilityLike = None,
+    breakdowns: bool = True,
 ) -> RunResult:
     """Run a workload (streams or a query source) against an ABM instance.
 
     ``obs`` optionally attaches a flight recorder
     (:class:`~repro.common.config.ObservabilityConfig` or a pre-built
     :class:`~repro.obs.FlightRecorder`); ``None`` records nothing and
-    leaves the result bit-for-bit identical.
+    leaves the result bit-for-bit identical.  ``breakdowns`` keeps the
+    always-on per-query latency attribution
+    (:class:`repro.obs.postmortem.LatencyBreakdown`) — stamps never affect
+    scheduling, so disabling it changes nothing but the attached metadata.
     """
     simulator = ScanSimulator(
-        workload, config, abm, record_trace=record_trace, obs=obs
+        workload, config, abm, record_trace=record_trace, obs=obs,
+        breakdowns=breakdowns,
     )
     return simulator.run()
 

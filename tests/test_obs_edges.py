@@ -1,0 +1,86 @@
+"""Edge-case pins for the observability helpers.
+
+The empty-input paths of :class:`repro.obs.metrics.Histogram` and
+:class:`repro.obs.profile.SchedulerProfile` are load-bearing for postmortem
+reports on idle runs (a class with zero completions, a cluster merge over
+zero shards); these tests pin the all-zeros behaviour so a refactor can't
+silently reintroduce a division by zero.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profile import (
+    PhaseStats,
+    SchedulerProfile,
+    render_scheduler_profile,
+)
+
+
+class TestEmptyHistogram:
+    def test_summary_on_zero_observations_is_all_zeros(self):
+        summary = Histogram("lat").summary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.p50 == 0.0
+        assert summary.p95 == 0.0
+        assert summary.p99 == 0.0
+        assert summary.minimum == 0.0
+        assert summary.maximum == 0.0
+
+    def test_registry_as_dict_with_empty_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat")
+        registry.counter("hits")
+        payload = registry.as_dict()
+        assert payload["lat"] == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0,
+        }
+        assert payload["hits"] == 0.0
+
+    def test_observing_after_empty_summary_still_works(self):
+        histogram = Histogram("lat")
+        assert histogram.summary().count == 0
+        histogram.observe(0.0, 2.0)
+        summary = histogram.summary()
+        assert summary.count == 1
+        assert summary.maximum == 2.0
+
+
+class TestSchedulerProfileEdges:
+    def test_merge_of_zero_profiles_is_empty(self):
+        merged = SchedulerProfile.merge([])
+        assert merged.phases == {}
+        assert merged.total_calls == 0
+        assert merged.total_seconds == 0.0
+        assert merged.per_decision_seconds == 0.0
+        assert merged.recorder_overhead_seconds == 0.0
+
+    def test_render_empty_profile_produces_sane_table(self):
+        table = render_scheduler_profile(SchedulerProfile.merge([]))
+        assert "total" in table
+        assert "0.000" in table
+        # No per-phase rows, no crash, still a framed table.
+        assert "phase" in table and "per-call" in table
+
+    def test_per_call_seconds_with_zero_calls(self):
+        assert PhaseStats().per_call_seconds == 0.0
+
+    def test_phase_lookup_on_missing_name(self):
+        profile = SchedulerProfile()
+        stats = profile.phase("select_chunk")
+        assert stats.calls == 0 and stats.seconds == 0.0
+
+    def test_merge_is_associative_with_empty(self):
+        profile = SchedulerProfile.from_counts(
+            {"select_chunk": 4}, {"select_chunk": 0.002}
+        )
+        merged = SchedulerProfile.merge([SchedulerProfile.merge([]), profile])
+        assert merged.total_calls == 4
+        assert merged.per_decision_seconds == profile.per_decision_seconds
+
+    def test_as_dict_on_empty_profile(self):
+        payload = SchedulerProfile().as_dict()
+        assert payload["total_calls"] == 0
+        assert payload["per_decision_seconds"] == 0.0
+        assert payload["phases"] == {}
