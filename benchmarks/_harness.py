@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -178,6 +179,28 @@ BENCH_CORE_PATH = os.environ.get(
 )
 
 
+def environment_provenance() -> Dict[str, object]:
+    """The execution environment a benchmark number is only valid within.
+
+    Wall-clock rows are meaningless without knowing what produced them, so
+    every ``BENCH_core.json`` write stamps the interpreter version, the
+    numpy version backing the vector engine (``None`` when numpy is absent
+    and the scalar engine was the only option), and the machine's CPU
+    count (which bounds what ``workers=N`` can deliver).
+    """
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - the CI image bakes numpy in
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def update_bench_core(
     section: str,
     rows: Sequence[Dict[str, object]],
@@ -196,6 +219,7 @@ def update_bench_core(
     payload: Dict[str, object] = {
         "schema": BENCH_CORE_SCHEMA,
         "version": BENCH_CORE_VERSION,
+        "environment": environment_provenance(),
         "sections": {},
     }
     if os.path.exists(BENCH_CORE_PATH):

@@ -52,7 +52,10 @@ class ChunkSlotPool:
         #: chunk becomes buffered or is evicted, so incrementally-maintained
         #: availability stays consistent even when a driver mutates the pool
         #: directly.  Must provide ``on_chunk_loaded(chunk)`` and
-        #: ``on_chunk_evicted(chunk)``.
+        #: ``on_chunk_evicted(chunk)``; it may additionally provide
+        #: ``on_load_started(chunk)``, ``on_load_cancelled(chunk)`` and
+        #: ``on_pool_reset()`` (used by the vectorised tracker to maintain
+        #: its loading mask) — absent hooks are simply skipped.
         self.listener = None
 
     # ------------------------------------------------------------ inspection
@@ -113,12 +116,18 @@ class ChunkSlotPool:
         if not self.has_free_slot():
             raise BufferPoolError("no free slot: evict before starting a load")
         self._loading.add(chunk)
+        hook = getattr(self.listener, "on_load_started", None)
+        if hook is not None:
+            hook(chunk)
 
     def cancel_load(self, chunk: int) -> None:
         """Abort an in-flight load reservation."""
         if chunk not in self._loading:
             raise BufferPoolError(f"chunk {chunk} is not being loaded")
         self._loading.discard(chunk)
+        hook = getattr(self.listener, "on_load_cancelled", None)
+        if hook is not None:
+            hook(chunk)
 
     def complete_load(self, chunk: int, now: float) -> ChunkSlot:
         """Mark an in-flight load as finished; the chunk becomes buffered."""
@@ -165,6 +174,9 @@ class ChunkSlotPool:
         self._loading.clear()
         self.loads_completed = 0
         self.evictions = 0
+        hook = getattr(self.listener, "on_pool_reset", None)
+        if hook is not None:
+            hook()
 
 
 @dataclass

@@ -1180,6 +1180,10 @@ class ClusterCoordinator:
 class ShardSource(QuerySource):
     """One shard simulator's view of the cluster coordinator."""
 
+    #: Plumbs straight into coordinator state owned by the driving process:
+    #: the lockstep runner must never fork a simulator fed by this source.
+    master_coupled = True
+
     def __init__(self, coordinator: ClusterCoordinator, shard: int) -> None:
         self.coordinator = coordinator
         self.shard = shard
@@ -1296,6 +1300,7 @@ def run_cluster_service(
     mpl_controller: Optional[MPLController] = None,
     obs: ObservabilityLike = None,
     alerts: Optional[AlertPolicy] = None,
+    workers: int = 1,
 ) -> ClusterResult:
     """Serve one arrival sequence with a sharded scatter-gather cluster.
 
@@ -1385,11 +1390,16 @@ def run_cluster_service(
             interrupts.append(FailureInjector(cluster.failures, coordinator))
         if cluster.hedge is not None:
             interrupts.append(HedgeMonitor(coordinator))
+    # ``workers`` is accepted for API symmetry with standalone fleets, but
+    # shard sources are master-coupled (they share the coordinator), so the
+    # lockstep runner always keeps cluster fleets on the serial frontier
+    # path — worker count cannot change cluster results.
     shard_runs = LockstepRunner(
         simulators,
         obs=recorder,
         message_source=coordinator,
         interrupts=interrupts,
+        workers=workers,
     ).run()
 
     records = sorted(coordinator.records, key=lambda record: record.query_id)

@@ -25,7 +25,13 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.bufman.slots import BlockKey, ChunkSlotPool, DSMBlockPool
 from repro.common.errors import SchedulingError
 from repro.core.cscan import CScanHandle, ScanRequest
-from repro.core.interest import DSMInterestTracker, InterestTracker
+from repro.core.interest import (
+    DSMInterestTracker,
+    InterestTracker,
+    VectorDSMInterestTracker,
+    VectorInterestTracker,
+    vector_interest_available,
+)
 from repro.core.ops import ColumnLoad, DSMLoadOperation, LoadOperation
 from repro.storage.dsm import DSMTableLayout
 
@@ -255,6 +261,40 @@ class _BaseABM:
     def _policy(self):
         raise NotImplementedError
 
+    def _vector_tracker_class(self):
+        """The vectorised tracker variant for this ABM (or ``None``)."""
+        return None
+
+    def enable_vector_interest(self) -> bool:
+        """Swap the interest tracker for its numpy-counter variant.
+
+        Called by the simulator when the numpy engine is selected, before
+        any query registers.  Returns ``True`` when the vector tracker is
+        (now) active; ``False`` when it cannot be used (naive mode, or
+        numpy missing) — the caller then simply runs with scalar counters.
+        Both trackers make bit-for-bit identical decisions, so this is a
+        pure representation change.
+        """
+        if not self.incremental or not vector_interest_available():
+            return False
+        cls = self._vector_tracker_class()
+        if cls is None:
+            return False
+        if isinstance(self.tracker, cls):
+            return True
+        if self._handles:
+            raise SchedulingError(
+                "enable_vector_interest must run before any query registers"
+            )
+        self.tracker = cls(
+            self.pool,
+            self.starvation_threshold,
+            self.almost_starved_threshold,
+            self.num_chunks,
+        )
+        self.pool.listener = self.tracker
+        return True
+
 
 class ActiveBufferManager(_BaseABM):
     """Active Buffer Manager for row storage (NSM / PAX).
@@ -310,6 +350,9 @@ class ActiveBufferManager(_BaseABM):
 
     def _policy(self) -> "SchedulingPolicy":
         return self.policy
+
+    def _vector_tracker_class(self):
+        return VectorInterestTracker
 
     # ----------------------------------------------------------- inspection
     def chunk_size(self, chunk: int) -> int:
@@ -495,6 +538,9 @@ class DSMActiveBufferManager(_BaseABM):
 
     def _policy(self) -> "DSMSchedulingPolicy":
         return self.policy
+
+    def _vector_tracker_class(self):
+        return VectorDSMInterestTracker
 
     # ----------------------------------------------------------- inspection
     def block_pages(self, chunk: int, column: str) -> int:

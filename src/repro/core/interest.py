@@ -47,9 +47,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
+try:  # pragma: no cover - exercised implicitly by the vector trackers
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.bufman.slots import ChunkSlotPool, DSMBlockPool
     from repro.core.cscan import CScanHandle
+
+
+def vector_interest_available() -> bool:
+    """Whether the numpy-backed interest trackers can be constructed."""
+    return _np is not None
 
 
 class _InterestBase:
@@ -339,3 +349,217 @@ class DSMInterestTracker(_InterestBase):
         if per_chunk is None:
             return None
         return per_chunk.get(chunk)
+
+
+class _VectorInterestMixin:
+    """Numpy-backed counter storage layered over an interest tracker.
+
+    The scalar trackers keep the per-chunk aggregates in dicts and apply a
+    threshold crossing as a Python loop over the query's remaining chunks
+    (:meth:`_InterestBase._refresh_flags`).  This mixin stores the same
+    aggregates as dense ``int64`` arrays indexed by chunk id and applies
+    each crossing as one fancy-indexed batch add — O(needed) in C instead
+    of O(needed) dict operations — while leaving every set/dict structure
+    the rest of the tracker relies on (registration order, availability
+    sets, the per-chunk interested-id dicts) untouched.  The arrays are an
+    exact mirror: every read answers bit-for-bit what the dict counters
+    would, which the vector-engine equivalence tests pin.
+
+    The mixin also keeps each query's remaining chunks as a boolean mask
+    over chunk ids, flipped incrementally as chunks are consumed — the mask
+    always equals ``handle.needed`` (``needed.discard`` precedes the
+    tracker's ``_drop_interest`` call), so candidate construction in the
+    policies is pure mask arithmetic with no per-call set conversion.
+    """
+
+    #: Duck-typing marker for policies with vectorised scoring paths.
+    vectorized = True
+
+    def _init_vectors(self, num_chunks: int) -> None:
+        if _np is None:  # pragma: no cover - callers gate on availability
+            raise RuntimeError("vector interest trackers require numpy")
+        self._num_chunks = num_chunks
+        self._interest_arr = _np.zeros(num_chunks, dtype=_np.int64)
+        self._starved_arr = _np.zeros(num_chunks, dtype=_np.int64)
+        self._almost_arr = _np.zeros(num_chunks, dtype=_np.int64)
+        self._needed_masks: Dict[int, "_np.ndarray"] = {}
+
+    # ---------------------------------------------------------- vector reads
+    @property
+    def interest_values(self) -> "_np.ndarray":
+        """Per-chunk interested-query counts (do not mutate)."""
+        return self._interest_arr
+
+    @property
+    def starved_values(self) -> "_np.ndarray":
+        """Per-chunk starved interested-query counts (do not mutate)."""
+        return self._starved_arr
+
+    @property
+    def almost_values(self) -> "_np.ndarray":
+        """Per-chunk almost-starved interested-query counts (do not mutate)."""
+        return self._almost_arr
+
+    def needed_mask(self, query_id: int) -> "_np.ndarray":
+        """Boolean mask of the query's remaining chunks (do not mutate).
+
+        Always equal to ``handle.needed``: built at registration, one bit
+        cleared per consumed chunk.
+        """
+        return self._needed_masks[query_id]
+
+    # ------------------------------------------------------ counter overrides
+    def interested_count(self, chunk: int) -> int:
+        return int(self._interest_arr[chunk])
+
+    def starved_interested_count(self, chunk: int) -> int:
+        return int(self._starved_arr[chunk])
+
+    def almost_starved_interested_count(self, chunk: int) -> int:
+        return int(self._almost_arr[chunk])
+
+    def _register_common(self, handle: "CScanHandle", available: Set[int]) -> None:
+        qid = handle.query_id
+        self._handles[qid] = handle
+        self._seq[qid] = self._next_seq
+        self._next_seq += 1
+        self._avail[qid] = available
+        starved = len(available) < self._starve_below
+        almost = len(available) <= self._almost_at
+        self._starved_flag[qid] = starved
+        self._almost_flag[qid] = almost
+        if starved:
+            self._starved_ids.add(qid)
+        interest = self._interest
+        for chunk in handle.needed:
+            interest.setdefault(chunk, {})[qid] = None
+        needed = _np.fromiter(
+            handle.needed, dtype=_np.int64, count=len(handle.needed)
+        )
+        mask = _np.zeros(self._num_chunks, dtype=bool)
+        mask[needed] = True
+        self._needed_masks[qid] = mask
+        self._interest_arr[needed] += 1
+        if starved:
+            self._starved_arr[needed] += 1
+        if almost:
+            self._almost_arr[needed] += 1
+
+    def on_unregister(self, handle: "CScanHandle") -> None:
+        super().on_unregister(handle)
+        self._needed_masks.pop(handle.query_id, None)
+
+    def _drop_interest(self, qid: int, chunk: int) -> None:
+        ids = self._interest.get(chunk)
+        if ids is not None:
+            ids.pop(qid, None)
+            if not ids:
+                del self._interest[chunk]
+        self._needed_masks[qid][chunk] = False
+        self._interest_arr[chunk] -= 1
+        if self._starved_flag[qid]:
+            self._starved_arr[chunk] -= 1
+        if self._almost_flag[qid]:
+            self._almost_arr[chunk] -= 1
+
+    def _refresh_flags(self, handle: "CScanHandle") -> None:
+        qid = handle.query_id
+        count = len(self._avail[qid])
+        starved = count < self._starve_below
+        almost = count <= self._almost_at
+        if starved == self._starved_flag[qid] and almost == self._almost_flag[qid]:
+            return
+        needed = self._needed_masks[qid]
+        if starved != self._starved_flag[qid]:
+            self._starved_flag[qid] = starved
+            if starved:
+                self._starved_ids.add(qid)
+                self._starved_arr[needed] += 1
+            else:
+                self._starved_ids.discard(qid)
+                self._starved_arr[needed] -= 1
+        if almost != self._almost_flag[qid]:
+            self._almost_flag[qid] = almost
+            if almost:
+                self._almost_arr[needed] += 1
+            else:
+                self._almost_arr[needed] -= 1
+
+
+class VectorInterestTracker(_VectorInterestMixin, InterestTracker):
+    """Numpy-counter variant of the NSM :class:`InterestTracker`.
+
+    On top of the batched counters it maintains two boolean masks over the
+    chunk space — buffered and loading — so the relevance policy can filter
+    load candidates with one vector expression instead of two pool probes
+    per chunk.  The loading mask is fed by the pool's optional
+    ``on_load_started`` / ``on_load_cancelled`` listener hooks.
+    """
+
+    def __init__(
+        self,
+        pool: "ChunkSlotPool",
+        starvation_threshold: int,
+        almost_starved_threshold: int,
+        num_chunks: int,
+    ) -> None:
+        InterestTracker.__init__(
+            self, pool, starvation_threshold, almost_starved_threshold
+        )
+        self._init_vectors(num_chunks)
+        self._buffered_mask = _np.zeros(num_chunks, dtype=bool)
+        self._loading_mask = _np.zeros(num_chunks, dtype=bool)
+        for chunk in pool.buffered_chunks():
+            self._buffered_mask[chunk] = True
+        for chunk in pool.loading_chunks():
+            self._loading_mask[chunk] = True
+
+    @property
+    def unloadable_mask(self) -> "_np.ndarray":
+        """Chunks that must not be loaded: buffered or already in flight."""
+        return self._buffered_mask | self._loading_mask
+
+    @property
+    def buffered_mask(self) -> "_np.ndarray":
+        """Boolean mask of fully-loaded chunks (mirrors pool membership)."""
+        return self._buffered_mask
+
+    def on_chunk_loaded(self, chunk: int) -> None:
+        self._buffered_mask[chunk] = True
+        self._loading_mask[chunk] = False
+        super().on_chunk_loaded(chunk)
+
+    def on_chunk_evicted(self, chunk: int) -> None:
+        self._buffered_mask[chunk] = False
+        super().on_chunk_evicted(chunk)
+
+    def on_load_started(self, chunk: int) -> None:
+        self._loading_mask[chunk] = True
+
+    def on_load_cancelled(self, chunk: int) -> None:
+        self._loading_mask[chunk] = False
+
+    def on_pool_reset(self) -> None:
+        self._buffered_mask[:] = False
+        self._loading_mask[:] = False
+
+
+class VectorDSMInterestTracker(_VectorInterestMixin, DSMInterestTracker):
+    """Numpy-counter variant of the DSM :class:`DSMInterestTracker`.
+
+    Only the shared starved/almost/interest counters are vectorised; the
+    per-(query, chunk) missing-column and cached-page maps stay scalar —
+    they are touched one entry per block event already.
+    """
+
+    def __init__(
+        self,
+        pool: "DSMBlockPool",
+        starvation_threshold: int,
+        almost_starved_threshold: int,
+        num_chunks: int,
+    ) -> None:
+        DSMInterestTracker.__init__(
+            self, pool, starvation_threshold, almost_starved_threshold
+        )
+        self._init_vectors(num_chunks)

@@ -35,6 +35,11 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Mapping, Optional, Tuple, Union
 
+try:  # pragma: no cover - exercised implicitly by the vector paths
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
 from repro.core.cscan import CScanHandle
 from repro.core.policies.base import SchedulingPolicy
 
@@ -198,10 +203,92 @@ class RelevancePolicy(SchedulingPolicy):
             + abm.interested_count(chunk)
         )
 
+    # --------------------------------------------------------- vector paths
+    # Each decision function has a numpy twin used when the ABM runs the
+    # vectorised interest tracker (``engine="numpy"``): the argmax/argmin
+    # over candidate chunks becomes a fancy-indexed array reduction on the
+    # tracker's dense counters.  Scores are integers and ties break to the
+    # smallest chunk id in both forms, so the decisions are bit-identical —
+    # the vector-engine golden-trace tests pin that.
+    #: Sentinel meaning "vector tracker not yet resolved" (class-level; the
+    #: resolution is cached per policy instance on first use — the tracker
+    #: is installed before any query registers and never swapped afterwards).
+    _vector_tracker_cache = False
+
+    def _vector_tracker(self):
+        cached = self._vector_tracker_cache
+        if cached is not False:
+            return cached
+        tracker = getattr(self.abm, "tracker", None)
+        if tracker is None or not getattr(tracker, "vectorized", False):
+            tracker = None
+        # Only the NSM tracker carries the buffered/loading masks the load
+        # path needs; duck-check instead of importing the class.
+        elif not hasattr(tracker, "buffered_mask"):
+            tracker = None
+        self._vector_tracker_cache = tracker
+        return tracker
+
+    #: Per-chunk score meaning "not a candidate" in the min-reduction.
+    _SELECT_EXCLUDED = 2**62
+
+    def _vector_select(self, tracker, handle: CScanHandle) -> Optional[int]:
+        # The tracker's availability set is exactly needed ∩ buffered (built
+        # that way at registration, kept in sync on load/evict/consume), so
+        # score the whole chunk axis with non-candidates masked out — pure
+        # C-side mask arithmetic, no per-call set-to-array conversion.
+        counts = _np.where(
+            tracker.needed_mask(handle.query_id) & tracker.buffered_mask,
+            tracker.interest_values,
+            self._SELECT_EXCLUDED,
+        )
+        best = counts.min()
+        if best == self._SELECT_EXCLUDED:
+            return None
+        # use_relevance = qmax - interested_count: max score == min count;
+        # argmax over the equality mask is the first (smallest) tied chunk.
+        return int((counts == best).argmax())
+
+    def _vector_choose_load(self, tracker, handle: CScanHandle) -> Optional[int]:
+        qmax = self.parameters.qmax
+        scores = _np.where(
+            tracker.needed_mask(handle.query_id) & ~tracker.unloadable_mask,
+            tracker.starved_values * qmax + tracker.interest_values,
+            -1,
+        )
+        best = scores.max()
+        if best < 0:
+            return None
+        return int((scores == best).argmax())
+
+    def _vector_evictions(self, tracker, trigger: CScanHandle) -> Optional[List[int]]:
+        unpinned = self.abm.pool.unpinned_chunks()
+        if not unpinned:
+            return None
+        chunks = _np.fromiter(unpinned, dtype=_np.int64, count=len(unpinned))
+        eligible = ~tracker.needed_mask(trigger.query_id)[chunks]
+        qmax = self.parameters.qmax
+        for protect_starved in (True, False):
+            mask = eligible
+            if protect_starved:
+                mask = eligible & (tracker.starved_values[chunks] == 0)
+            candidates = chunks[mask]
+            if candidates.size == 0:
+                continue
+            scores = (
+                tracker.almost_values[candidates] * qmax
+                + tracker.interest_values[candidates]
+            )
+            return [int(candidates[scores == scores.min()].min())]
+        return None
+
     # ------------------------------------------------------------- delivery
     def select_chunk_to_consume(self, handle: CScanHandle, now: float) -> Optional[int]:
         self.scheduling_calls += 1
         abm = self.abm
+        tracker = self._vector_tracker()
+        if tracker is not None and tracker.knows(handle.query_id):
+            return self._vector_select(tracker, handle)
         if abm.incremental:
             # The tracker maintains exactly the buffered-and-needed bucket;
             # the naive path rediscovers it by probing the pool per chunk.
@@ -244,6 +331,9 @@ class RelevancePolicy(SchedulingPolicy):
     def _choose_chunk_to_load(self, handle: CScanHandle) -> Optional[int]:
         """``chooseChunkToLoad``: the not-yet-buffered chunk with the highest
         load relevance among those the query still needs."""
+        tracker = self._vector_tracker()
+        if tracker is not None and tracker.knows(handle.query_id):
+            return self._vector_choose_load(tracker, handle)
         pool = self.abm.pool
         best_chunk: Optional[int] = None
         best_score = -math.inf
@@ -264,6 +354,9 @@ class RelevancePolicy(SchedulingPolicy):
         abm = self.abm
         pool = abm.pool
         trigger = abm.handle(trigger_query)
+        tracker = self._vector_tracker()
+        if tracker is not None and tracker.knows(trigger_query):
+            return self._vector_evictions(tracker, trigger)
 
         def eligible(chunk: int, protect_starved: bool) -> bool:
             if trigger.is_interested(chunk):

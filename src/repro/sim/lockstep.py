@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence
 
 from repro.common.errors import SimulationError
 from repro.obs.recorder import FlightRecorder, ObservabilityLike, build_flight_recorder
+from repro.sim.parallel import fleet_parallelizable, run_fleet_parallel
 from repro.sim.results import RunResult
 from repro.sim.runner import _EPS, _MAX_EVENTS, ScanSimulator
 
@@ -63,6 +64,13 @@ class LockstepRunner:
     a scatter delivery deterministically wins the race.  After firing, the
     round restarts (the interrupt may have created, cancelled or re-routed
     work on any shard).
+
+    ``workers`` fans a fleet of *self-contained* simulators out across that
+    many forked processes (see :mod:`repro.sim.parallel`).  Coupled fleets —
+    a ``message_source``, interrupts, or any ``master_coupled`` query
+    source — always run on the serial min-frontier path no matter the
+    worker count, and the parallel path reproduces each simulator's solo
+    trajectory exactly, so ``workers`` can never change results.
     """
 
     def __init__(
@@ -71,12 +79,16 @@ class LockstepRunner:
         obs: ObservabilityLike = None,
         message_source=None,
         interrupts: Sequence = (),
+        workers: int = 1,
     ) -> None:
         if not simulators:
             raise SimulationError("lockstep runner needs at least one simulator")
+        if int(workers) < 1:
+            raise SimulationError(f"workers must be >= 1, got {workers}")
         self._simulators = list(simulators)
         self._message_source = message_source
         self._interrupts = list(interrupts)
+        self._workers = min(int(workers), len(self._simulators))
         self.flight_recorder: Optional[FlightRecorder] = None
         recorder = build_flight_recorder(obs)
         if recorder is not None:
@@ -93,6 +105,12 @@ class LockstepRunner:
     def run(self) -> List[RunResult]:
         """Execute every simulator to completion; returns one result each."""
         simulators = self._simulators
+        if self._workers > 1 and fleet_parallelizable(
+            simulators, self._message_source, self._interrupts
+        ):
+            results = run_fleet_parallel(simulators, self._workers)
+            if results is not None:
+                return results
         for simulator in simulators:
             simulator.begin_run()
         rounds = 0

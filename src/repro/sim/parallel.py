@@ -1,0 +1,315 @@
+"""Multiprocess fan-out for fleets of independent scan simulators.
+
+:class:`repro.sim.lockstep.LockstepRunner` exists because cluster shards
+serve sub-queries of the same front-door queries: their clocks must advance
+behind one shared frontier.  A fleet of *self-contained* simulators — each
+with its own query source, ABM and disk — has no such coupling: no event on
+one simulator can ever reach another, so each one's trajectory is exactly
+its solo ``run()`` trajectory no matter how the fleet is interleaved (the
+serial driver's extra ``next_step_time`` probes are idempotent disk kicks
+that only inflate per-shard ``scheduling_calls``).
+
+That independence is what this module exploits.  ``workers=N`` forks the
+fleet across ``N`` processes; each worker drives its simulators to
+completion with the plain solo loop and ships back
+
+* the :class:`~repro.sim.results.RunResult`, and
+* the slice of flight-recorder state the run appended (trace events, metric
+  points as deltas, sampled overhead),
+
+which the parent merges back into the original recorder objects at the
+join barrier, ordered by ``(timestamp, shard index, emission order)`` — a
+total order fixed by the simulators' trajectories, so results and merged
+telemetry are identical for every worker count (and every partition).
+
+Fleets that *are* coupled — a cluster ``message_source``, external
+interrupt sources, or any simulator whose query source is
+``master_coupled`` (the cluster's ``ShardSource`` plumbs straight into
+coordinator state) — are not eligible: the lockstep runner keeps them on
+the proven serial path regardless of ``workers``, so worker count can
+never change results there either.
+
+Workers are forked (POSIX only); on platforms without the ``fork`` start
+method the fleet silently runs serially.  Forking copies the seeded RNG
+state along with everything else, so per-shard randomness stays exactly
+where the shard's constructor put it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.obs.events import TraceEvent
+from repro.obs.recorder import FlightRecorder
+from repro.sim.results import RunResult
+from repro.sim.runner import ScanSimulator
+
+
+def fleet_parallelizable(
+    simulators: Sequence[ScanSimulator],
+    message_source: object = None,
+    interrupts: Sequence = (),
+) -> bool:
+    """Whether the fleet may be forked across workers.
+
+    True only when nothing couples the simulators to each other or to the
+    driving process: no in-flight coordinator messages, no external
+    interrupt sources, and no master-coupled query source.
+    """
+    if message_source is not None or interrupts:
+        return False
+    return all(not simulator.master_coupled for simulator in simulators)
+
+
+# --------------------------------------------------------------- recorder IO
+@dataclass
+class _RecorderDelta:
+    """Everything one simulator's run appended to its flight recorder."""
+
+    trace_events: List
+    trace_dropped: int
+    counters: Dict[str, List[Tuple[float, float]]]  # (ts, delta)
+    gauges: Dict[str, List[Tuple[float, float]]]  # (ts, value)
+    histograms: Dict[str, List[Tuple[float, float]]]  # (ts, value)
+    overhead_seconds: float
+
+
+@dataclass
+class _RecorderMarks:
+    """Pre-run lengths/totals, taken in the worker right after the fork."""
+
+    trace_len: int
+    trace_dropped: int
+    counter_marks: Dict[str, Tuple[int, float]]  # name -> (len, total)
+    gauge_marks: Dict[str, int]
+    histogram_marks: Dict[str, int]
+    overhead_seconds: float
+
+
+def _take_marks(recorder: Optional[FlightRecorder]) -> Optional[_RecorderMarks]:
+    if recorder is None:
+        return None
+    trace_len = trace_dropped = 0
+    if recorder.trace is not None:
+        trace_len = len(recorder.trace.events)
+        trace_dropped = recorder.trace.dropped
+    counter_marks: Dict[str, Tuple[int, float]] = {}
+    gauge_marks: Dict[str, int] = {}
+    histogram_marks: Dict[str, int] = {}
+    if recorder.metrics is not None:
+        for name, counter in recorder.metrics.counters().items():
+            counter_marks[name] = (len(counter.points), counter.total)
+        for name, gauge in recorder.metrics.gauges().items():
+            gauge_marks[name] = len(gauge.points)
+        for name, histogram in recorder.metrics.histograms().items():
+            histogram_marks[name] = len(histogram.points)
+    return _RecorderMarks(
+        trace_len=trace_len,
+        trace_dropped=trace_dropped,
+        counter_marks=counter_marks,
+        gauge_marks=gauge_marks,
+        histogram_marks=histogram_marks,
+        overhead_seconds=recorder.overhead_seconds,
+    )
+
+
+def _take_delta(
+    recorder: Optional[FlightRecorder], marks: Optional[_RecorderMarks]
+) -> Optional[_RecorderDelta]:
+    if recorder is None or marks is None:
+        return None
+    trace_events: List = []
+    trace_dropped = 0
+    if recorder.trace is not None:
+        # Ship plain tuples: pickling a flat tuple is several times cheaper
+        # than pickling a slotted instance, and traces dominate the payload.
+        trace_events = [
+            (e.name, e.cat, e.ph, e.ts, e.pid, e.tid, e.dur, e.id, e.args)
+            for e in recorder.trace.events[marks.trace_len:]
+        ]
+        trace_dropped = recorder.trace.dropped - marks.trace_dropped
+    counters: Dict[str, List[Tuple[float, float]]] = {}
+    gauges: Dict[str, List[Tuple[float, float]]] = {}
+    histograms: Dict[str, List[Tuple[float, float]]] = {}
+    if recorder.metrics is not None:
+        for name, counter in recorder.metrics.counters().items():
+            base_len, base_total = marks.counter_marks.get(name, (0, 0.0))
+            fresh = counter.points[base_len:]
+            if not fresh:
+                continue
+            # Points store running totals; ship per-point deltas so the
+            # parent can rebuild totals in globally merged order.
+            deltas = []
+            previous = base_total
+            for ts, total in fresh:
+                deltas.append((ts, total - previous))
+                previous = total
+            counters[name] = deltas
+        for name, gauge in recorder.metrics.gauges().items():
+            fresh = gauge.points[marks.gauge_marks.get(name, 0):]
+            if fresh:
+                gauges[name] = fresh
+        for name, histogram in recorder.metrics.histograms().items():
+            fresh = histogram.points[marks.histogram_marks.get(name, 0):]
+            if fresh:
+                histograms[name] = fresh
+    return _RecorderDelta(
+        trace_events=trace_events,
+        trace_dropped=trace_dropped,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        overhead_seconds=recorder.overhead_seconds - marks.overhead_seconds,
+    )
+
+
+def _merge_deltas(
+    recorder: FlightRecorder, deltas: List[Tuple[int, _RecorderDelta]]
+) -> None:
+    """Fold per-simulator recorder slices back into the parent recorder.
+
+    Every stream is merged in ``(timestamp, shard index, emission order)``
+    order — fixed by the trajectories, independent of the partition.
+    """
+    if recorder.trace is not None:
+        tagged = [
+            (packed[3], index, position, packed)
+            for index, delta in deltas
+            for position, packed in enumerate(delta.trace_events)
+        ]
+        tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+        for _, _, _, packed in tagged:
+            recorder.trace.emit(TraceEvent(*packed))
+        recorder.trace.dropped += sum(delta.trace_dropped for _, delta in deltas)
+    if recorder.metrics is not None:
+        merged_counters: Dict[str, List[Tuple[float, int, int, float]]] = {}
+        merged_gauges: Dict[str, List[Tuple[float, int, int, float]]] = {}
+        merged_histograms: Dict[str, List[Tuple[float, int, int, float]]] = {}
+        for index, delta in deltas:
+            for table, merged in (
+                (delta.counters, merged_counters),
+                (delta.gauges, merged_gauges),
+                (delta.histograms, merged_histograms),
+            ):
+                for name, points in table.items():
+                    bucket = merged.setdefault(name, [])
+                    bucket.extend(
+                        (ts, index, position, value)
+                        for position, (ts, value) in enumerate(points)
+                    )
+        for name, bucket in merged_counters.items():
+            bucket.sort()
+            counter = recorder.metrics.counter(name)
+            for ts, _, _, value in bucket:
+                counter.inc(ts, value)
+        for name, bucket in merged_gauges.items():
+            bucket.sort()
+            gauge = recorder.metrics.gauge(name)
+            for ts, _, _, value in bucket:
+                gauge.set(ts, value)
+        for name, bucket in merged_histograms.items():
+            bucket.sort()
+            histogram = recorder.metrics.histogram(name)
+            for ts, _, _, value in bucket:
+                histogram.observe(ts, value)
+    recorder.overhead_seconds += sum(delta.overhead_seconds for _, delta in deltas)
+
+
+# ------------------------------------------------------------------- workers
+def _worker_main(conn, pairs) -> None:
+    """Run each assigned simulator to completion and ship the outcomes.
+
+    Simulators run sequentially with the exact solo loop
+    (:meth:`ScanSimulator.run`), so each result is bit-for-bit the solo-run
+    result regardless of which worker hosts it.
+    """
+    try:
+        out = []
+        for index, simulator in pairs:
+            recorder = simulator.flight_recorder
+            marks = _take_marks(recorder)
+            result = simulator.run()
+            out.append((index, result, _take_delta(recorder, marks)))
+        conn.send(("ok", out))
+    except BaseException as exc:  # noqa: BLE001 - report, parent re-raises
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - broken pipe on teardown
+            pass
+    finally:
+        conn.close()
+
+
+def run_fleet_parallel(
+    simulators: Sequence[ScanSimulator], workers: int
+) -> Optional[List[RunResult]]:
+    """Fork the fleet across ``workers`` processes and merge the results.
+
+    Returns ``None`` when process fan-out is unavailable on this platform
+    (no ``fork`` start method) — the caller then drives the fleet serially.
+    Raises :class:`SimulationError` if any worker's simulation fails; the
+    remaining workers are reaped before the error propagates.
+    """
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+    workers = min(int(workers), len(simulators))
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    partitions = [
+        [(index, simulators[index]) for index in range(w, len(simulators), workers)]
+        for w in range(workers)
+    ]
+    processes = []
+    for pairs in partitions:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(target=_worker_main, args=(child_conn, pairs))
+        process.start()
+        child_conn.close()
+        processes.append((process, parent_conn))
+    results: List[Optional[RunResult]] = [None] * len(simulators)
+    deltas: List[Tuple[int, Optional[_RecorderDelta]]] = []
+    errors: List[str] = []
+    try:
+        # Drain every pipe before joining: a worker blocks in send() until
+        # the parent reads, so recv-then-join is the deadlock-free order.
+        for process, conn in processes:
+            try:
+                message = conn.recv()
+            except EOFError:
+                message = ("error", "worker exited without reporting a result")
+            if message[0] == "ok":
+                for index, result, delta in message[1]:
+                    results[index] = result
+                    deltas.append((index, delta))
+            else:
+                errors.append(message[1])
+        for process, _ in processes:
+            process.join()
+    finally:
+        for process, conn in processes:
+            conn.close()
+            if process.is_alive():  # pragma: no cover - error teardown
+                process.terminate()
+                process.join()
+    if errors:
+        raise SimulationError(
+            "parallel lockstep worker failed: " + "; ".join(errors)
+        )
+    # Group per-simulator slices by recorder object: the common case is one
+    # shared recorder for the whole fleet, but per-simulator recorders merge
+    # just as well.
+    by_recorder: Dict[int, Tuple[FlightRecorder, List[Tuple[int, _RecorderDelta]]]] = {}
+    for index, delta in sorted(deltas, key=lambda item: item[0]):
+        recorder = simulators[index].flight_recorder
+        if recorder is None or delta is None:
+            continue
+        entry = by_recorder.setdefault(id(recorder), (recorder, []))
+        entry[1].append((index, delta))
+    for recorder, tagged in by_recorder.values():
+        _merge_deltas(recorder, tagged)
+    return [result for result in results if result is not None]

@@ -55,6 +55,7 @@ from repro.obs.recorder import (
 )
 from repro.sim.results import QueryResult, RunResult
 from repro.sim.source import AdmittedQuery, ClosedStreamSource, QuerySource
+from repro.sim.vector import VectorCpuLane, resolve_engine
 from repro.storage.volumes import VolumeLayout
 
 AnyABM = Union[ActiveBufferManager, DSMActiveBufferManager]
@@ -110,6 +111,7 @@ class ScanSimulator:
         obs: ObservabilityLike = None,
         obs_process: str = "service",
         breakdowns: bool = True,
+        engine: str = "auto",
     ) -> None:
         if isinstance(workload, QuerySource):
             self._source = workload
@@ -122,6 +124,19 @@ class ScanSimulator:
             raise SimulationError("query source is empty or already consumed")
         self._config = config
         self._abm = abm
+        #: Execution backend: ``"scalar"`` keeps the reference heap walk,
+        #: ``"numpy"`` batches the CPU completion math (and, when the ABM
+        #: supports it, the interest-counter updates) into array ops.  Both
+        #: backends make bit-for-bit the same scheduling decisions; the
+        #: golden-trace equivalence tests pin that.
+        self._engine = resolve_engine(engine, self._source.size_hint())
+        self._cpu_lane: Optional[VectorCpuLane] = (
+            VectorCpuLane() if self._engine == "numpy" else None
+        )
+        if self._engine == "numpy":
+            enable_vectors = getattr(abm, "enable_vector_interest", None)
+            if enable_vectors is not None:
+                enable_vectors()
         self._volume_layout = VolumeLayout.from_disk_config(
             config.disk, abm.num_chunks
         )
@@ -225,6 +240,18 @@ class ScanSimulator:
         """The attached flight recorder, if any."""
         return self._obs
 
+    @property
+    def resolved_engine(self) -> str:
+        """The execution backend in use: ``"scalar"`` or ``"numpy"``."""
+        return self._engine
+
+    @property
+    def master_coupled(self) -> bool:
+        """Whether the query source plumbs into driver-owned shared state
+        (cluster coordinator); such simulators must not be forked into a
+        worker process."""
+        return bool(getattr(self._source, "master_coupled", False))
+
     # ------------------------------------------------------------------ API
     def run(self) -> RunResult:
         """Execute the workload to completion and return the run result."""
@@ -318,8 +345,15 @@ class ScanSimulator:
                 f"cannot cancel query {query_id}: it already finished"
             )
         del self._queries[query_id]
-        self._running.pop(query_id, None)
+        was_running = self._running.pop(query_id, None)
         self._blocked.discard(query_id)
+        if self._cpu_lane is not None:
+            self._cpu_lane.discard(query_id)
+        elif was_running is not None:
+            # The heap entry of a cancelled running query goes stale; compact
+            # once stale entries dominate so long hedge/fail-stop runs don't
+            # grow the heap (and its pop cost) without bound.
+            self._maybe_compact_cpu_heap()
         self._timed("cancel", lambda: self._abm.cancel(query_id, now))
         self._cancelled += 1
         if self._obs is not None:
@@ -351,6 +385,37 @@ class ScanSimulator:
         """Scale every volume's bandwidth (degraded shard); 1.0 restores."""
         self._disk.set_bandwidth_scale(scale)
 
+    def completion_bound(self) -> Optional[float]:
+        """Lower bound on the earliest time any admitted query can finish.
+
+        Used by the parallel lockstep driver to size safe step windows: a
+        window that ends strictly before this bound can be simulated without
+        the simulator ever calling ``source.on_complete``.  The bound is
+        sound because the virtual clock advances at most at wall-clock rate
+        (``rate_per_query`` never exceeds 1) and disk stalls only add wall
+        time, so a query needing ``v`` more virtual seconds of CPU work
+        cannot finish before ``now + v``.  A small margin absorbs the
+        floating-point rounding of the incremental virtual-clock sums.
+        Returns ``None`` when no admitted query is unfinished.
+        """
+        best: Optional[float] = None
+        for query_id, run in self._queries.items():
+            if run.done:
+                continue
+            remaining = self._abm.handle(query_id).chunks_needed
+            work = max(_EPS, run.spec.cpu_per_chunk)
+            if run.processing:
+                virtual = max(0.0, run.cpu_target - self._vtime)
+                virtual += max(0, remaining - 1) * work
+            else:
+                virtual = max(1, remaining) * work
+            bound = self._now + virtual
+            if best is None or bound < best:
+                best = bound
+        if best is None:
+            return None
+        return best - (1e-9 + 1e-9 * abs(best))
+
     # ------------------------------------------------------------ event core
     def _cpu_entry_valid(self, entry: Tuple[float, int, int]) -> bool:
         """Whether a CPU-heap entry still describes a running dispatch."""
@@ -361,6 +426,8 @@ class ScanSimulator:
     def _next_cpu_target(self) -> Optional[float]:
         """Virtual completion time of the earliest live CPU entry (lazily
         discarding entries whose query was re-dispatched or left the CPU)."""
+        if self._cpu_lane is not None:
+            return self._cpu_lane.min_target()
         heap = self._cpu_heap
         while heap:
             entry = heap[0]
@@ -368,6 +435,32 @@ class ScanSimulator:
                 return entry[0]
             heapq.heappop(heap)
         return None
+
+    def _maybe_compact_cpu_heap(self) -> None:
+        """Purge stale CPU entries once they outnumber live ones 2:1.
+
+        Lazy invalidation alone never frees a stale entry that stays below
+        the heap top, so a long run with many cancellations (hedged losers,
+        adaptive-MPL churn) grows the heap — and every ``heappush`` —
+        without bound.  Compaction keeps the heap within a constant factor
+        of the running set while amortising to O(1) per cancellation.
+        """
+        heap = self._cpu_heap
+        if len(heap) > 32 and len(heap) > 2 * len(self._running):
+            heap[:] = [entry for entry in heap if self._cpu_entry_valid(entry)]
+            heapq.heapify(heap)
+
+    def _maybe_compact_disk_heap(self) -> None:
+        """Disk-heap twin of :meth:`_maybe_compact_cpu_heap` (entries go
+        stale when a volume's completion is superseded)."""
+        heap = self._disk_heap
+        if len(heap) > 32 and len(heap) > 2 * len(self._disk_done):
+            heap[:] = [
+                entry
+                for entry in heap
+                if self._disk_done.get(entry[1]) == entry[0]
+            ]
+            heapq.heapify(heap)
 
     def _next_disk_time(self) -> Optional[float]:
         """Completion time of the earliest in-flight disk operation."""
@@ -478,20 +571,23 @@ class ScanSimulator:
     def _process_cpu_completions(self) -> None:
         # Pop every due completion from the heap instead of scanning all
         # running queries; only actually-due queries are touched.
-        heap = self._cpu_heap
-        due: List[Tuple[int, int]] = []
-        while heap:
-            entry = heap[0]
-            if not self._cpu_entry_valid(entry):
+        if self._cpu_lane is not None:
+            due = self._cpu_lane.pop_due(self._vtime)
+        else:
+            heap = self._cpu_heap
+            due = []
+            while heap:
+                entry = heap[0]
+                if not self._cpu_entry_valid(entry):
+                    heapq.heappop(heap)
+                    continue
+                if entry[0] > self._vtime + _EPS:
+                    break
                 heapq.heappop(heap)
-                continue
-            if entry[0] > self._vtime + _EPS:
-                break
-            heapq.heappop(heap)
-            due.append((entry[1], entry[2]))
-        # Dispatch order equals running-dict insertion order (every dispatch
-        # inserts afresh), matching the naive completion scan.
-        due.sort()
+                due.append((entry[1], entry[2]))
+            # Dispatch order equals running-dict insertion order (every
+            # dispatch inserts afresh), matching the naive completion scan.
+            due.sort()
         for _, query_id in due:
             if query_id in self._running:
                 self._finish_chunk(query_id)
@@ -580,6 +676,7 @@ class ScanSimulator:
         done = self._now + duration
         self._disk_done[volume] = done
         heapq.heappush(self._disk_heap, (done, volume))
+        self._maybe_compact_disk_heap()
 
     def _start_query(self, admitted: AdmittedQuery) -> None:
         spec = admitted.spec
@@ -631,9 +728,12 @@ class ScanSimulator:
         run.cpu_seq = self._dispatch_seq
         self._blocked.discard(query_id)
         self._running[query_id] = run
-        heapq.heappush(
-            self._cpu_heap, (run.cpu_target, run.cpu_seq, query_id)
-        )
+        if self._cpu_lane is not None:
+            self._cpu_lane.add(query_id, run.cpu_target, run.cpu_seq)
+        else:
+            heapq.heappush(
+                self._cpu_heap, (run.cpu_target, run.cpu_seq, query_id)
+            )
 
     def _finish_chunk(self, query_id: int) -> None:
         run = self._running.pop(query_id)
@@ -746,6 +846,7 @@ def run_simulation(
     record_trace: bool = False,
     obs: ObservabilityLike = None,
     breakdowns: bool = True,
+    engine: str = "auto",
 ) -> RunResult:
     """Run a workload (streams or a query source) against an ABM instance.
 
@@ -756,10 +857,12 @@ def run_simulation(
     always-on per-query latency attribution
     (:class:`repro.obs.postmortem.LatencyBreakdown`) — stamps never affect
     scheduling, so disabling it changes nothing but the attached metadata.
+    ``engine`` selects the execution backend (``"scalar"``, ``"numpy"`` or
+    ``"auto"``); every backend produces bit-for-bit the same result.
     """
     simulator = ScanSimulator(
         workload, config, abm, record_trace=record_trace, obs=obs,
-        breakdowns=breakdowns,
+        breakdowns=breakdowns, engine=engine,
     )
     return simulator.run()
 

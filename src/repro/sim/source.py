@@ -56,6 +56,13 @@ class AdmittedQuery:
 class QuerySource(abc.ABC):
     """Interface between a workload shape and the discrete-event simulator."""
 
+    #: Whether the source is live plumbing into shared coordinator state
+    #: owned by the driving process (the cluster's ``ShardSource``).  The
+    #: parallel lockstep driver keeps such sources in the parent and proxies
+    #: their calls; self-contained sources (closed streams) are forked into
+    #: the worker along with their simulator.
+    master_coupled = False
+
     @abc.abstractmethod
     def next_event_time(self) -> Optional[float]:
         """Time of the next source-driven admission, or ``None`` if none is
@@ -81,6 +88,14 @@ class QuerySource(abc.ABC):
     def describe(self) -> Dict[str, object]:
         """Flat description of the workload shape (for reports)."""
         return {}
+
+    def size_hint(self) -> Optional[int]:
+        """Total queries the source will ever release, when known up front.
+
+        ``None`` (the default) means unknown — open-system arrivals and
+        cluster shards cannot know; ``engine="auto"`` then stays scalar.
+        """
+        return None
 
 
 class ClosedStreamSource(QuerySource):
@@ -121,6 +136,10 @@ class ClosedStreamSource(QuerySource):
             if stream
         )
         self._start_delay_s = start_delay_s
+        # Released-query counter so drained() is O(1); the event loop polls
+        # it every iteration and a per-stream cursor walk shows up at scale.
+        self._released = 0
+        self._total_queries = sum(len(stream) for stream in self._streams)
 
     # ------------------------------------------------------------- interface
     def next_event_time(self) -> Optional[float]:
@@ -154,13 +173,13 @@ class ClosedStreamSource(QuerySource):
     def drained(self) -> bool:
         if self._pending_starts:
             return False
-        return all(
-            cursor >= len(stream)
-            for cursor, stream in zip(self._cursor, self._streams)
-        )
+        return self._released >= self._total_queries
 
     def stream_results(self) -> List[StreamResult]:
         return [result for result in self._results if result is not None]
+
+    def size_hint(self) -> Optional[int]:
+        return sum(len(stream) for stream in self._streams)
 
     def describe(self) -> Dict[str, object]:
         return {
@@ -177,6 +196,7 @@ class ClosedStreamSource(QuerySource):
         if cursor >= len(stream):
             return None
         self._cursor[stream_index] = cursor + 1
+        self._released += 1
         if self._start[stream_index] is None:
             self._start[stream_index] = now
         return AdmittedQuery(spec=stream[cursor], stream=stream_index)

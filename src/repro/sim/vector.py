@@ -1,0 +1,154 @@
+"""Numpy batch-execution backend for the scan simulator.
+
+The event core in :mod:`repro.sim.runner` keeps one lazily-invalidated heap
+of CPU completions.  Under processor sharing every running query advances on
+the same virtual clock, so "which completions are due" is a vectorisable
+question: keep every running query's virtual completion target in one flat
+array and answer ``min()`` / ``targets <= limit`` with numpy instead of a
+Python heap walk.
+
+:class:`VectorCpuLane` is that array.  It is an exact drop-in for the heap
+discipline:
+
+* entries are removed eagerly (cancel / chunk completion), so there are no
+  stale entries to skip — the array always holds exactly the running set;
+* :meth:`pop_due` returns due completions sorted by ``(dispatch_seq,
+  query_id)``, byte-for-byte the order the heap pops them in (the heap holds
+  at most one live entry per running query, and the scalar path sorts its
+  due batch the same way);
+* comparisons use the same ``_EPS`` tolerance as the scalar path.
+
+The module degrades gracefully: when numpy is missing every entry point
+reports the vector engine as unavailable and the simulator stays on the
+scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly by engine resolution
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+from repro.common.errors import SimulationError
+
+_EPS = 1e-9
+
+#: ``engine="auto"`` switches to numpy at this many workload queries; below
+#: it the per-call numpy overhead outweighs the batch win.
+AUTO_NUMPY_THRESHOLD = 32
+
+ENGINES = ("auto", "scalar", "numpy")
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be used at all."""
+    return _np is not None
+
+
+def resolve_engine(engine: str, size_hint: Optional[int]) -> str:
+    """Resolve an ``engine=`` knob to ``"scalar"`` or ``"numpy"``.
+
+    ``auto`` picks numpy when it is importable and the workload is known to
+    hold at least :data:`AUTO_NUMPY_THRESHOLD` queries; an unknown size
+    (open-system sources, cluster shards) conservatively stays scalar —
+    callers that know better pass ``engine="numpy"`` explicitly.
+    """
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine == "numpy":
+        if _np is None:
+            raise SimulationError("engine='numpy' requested but numpy is not installed")
+        return "numpy"
+    if engine == "scalar":
+        return "scalar"
+    if _np is None or size_hint is None or size_hint < AUTO_NUMPY_THRESHOLD:
+        return "scalar"
+    return "numpy"
+
+
+class VectorCpuLane:
+    """Slot-table of virtual CPU completion targets for the running set.
+
+    Each running query occupies one slot: ``targets[slot]`` is its virtual
+    completion time (``+inf`` marks a free slot), ``seqs[slot]`` its dispatch
+    sequence number and ``qids[slot]`` its query id.  The table grows
+    geometrically and never shrinks; freed slots are recycled LIFO.
+    """
+
+    __slots__ = ("_targets", "_seqs", "_qids", "_slot_of", "_free")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if _np is None:  # pragma: no cover - guarded by resolve_engine
+            raise SimulationError("VectorCpuLane requires numpy")
+        capacity = max(4, capacity)
+        self._targets = _np.full(capacity, _np.inf, dtype=_np.float64)
+        self._seqs = _np.zeros(capacity, dtype=_np.int64)
+        self._qids = _np.zeros(capacity, dtype=_np.int64)
+        self._slot_of = {}
+        self._free = list(range(capacity - 1, -1, -1))
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._slot_of
+
+    def _grow(self) -> None:
+        old = len(self._targets)
+        new = old * 2
+        targets = _np.full(new, _np.inf, dtype=_np.float64)
+        targets[:old] = self._targets
+        self._targets = targets
+        self._seqs = _np.resize(self._seqs, new)
+        self._qids = _np.resize(self._qids, new)
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def add(self, query_id: int, target: float, seq: int) -> None:
+        """Insert (or replace) the running query's completion target."""
+        slot = self._slot_of.get(query_id)
+        if slot is None:
+            if not self._free:
+                self._grow()
+            slot = self._free.pop()
+            self._slot_of[query_id] = slot
+        self._targets[slot] = target
+        self._seqs[slot] = seq
+        self._qids[slot] = query_id
+
+    def discard(self, query_id: int) -> None:
+        """Remove the query's entry if present (cancel / chunk completion)."""
+        slot = self._slot_of.pop(query_id, None)
+        if slot is not None:
+            self._targets[slot] = _np.inf
+            self._free.append(slot)
+
+    def min_target(self) -> Optional[float]:
+        """Earliest virtual completion target over the running set."""
+        if not self._slot_of:
+            return None
+        return float(self._targets.min())
+
+    def pop_due(self, virtual_limit: float) -> List[Tuple[int, int]]:
+        """Remove and return every entry with ``target <= limit + _EPS``.
+
+        Returned as ``(dispatch_seq, query_id)`` sorted ascending — the exact
+        batch and order the scalar heap pops and sorts.  The snapshot is
+        taken before any caller processing, so dispatches the caller makes
+        while handling the batch are not re-examined (heap semantics).
+        """
+        if not self._slot_of:
+            return []
+        slots = (self._targets <= virtual_limit + _EPS).nonzero()[0]
+        if slots.size == 0:
+            return []
+        due = sorted(zip(self._seqs[slots].tolist(), self._qids[slots].tolist()))
+        self._targets[slots] = _np.inf
+        self._free.extend(slots.tolist())
+        for _, query_id in due:
+            del self._slot_of[query_id]
+        return due

@@ -114,9 +114,9 @@ class TestOneShardEquivalenceNSM:
         "service",
         [
             ServiceConfig(max_concurrent=2, queue_capacity=3),  # sheds overload
-            ServiceConfig(max_concurrent=3, discipline="priority"),
+            ServiceConfig(max_concurrent=3, discipline="sjf"),
         ],
-        ids=["bounded-queue", "priority"],
+        ids=["bounded-queue", "sjf"],
     )
     def test_admission_variants_bit_for_bit(self, nsm_layout, small_config, service):
         arrivals = _arrivals(_nsm_templates(), nsm_layout)

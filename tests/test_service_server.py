@@ -188,7 +188,7 @@ class TestServiceRuns:
             Arrival(time=0.2, spec=make_request(2, range(2), name="small",
                                                 cpu_per_chunk=0.02)),
         ]
-        service = ServiceConfig(max_concurrent=1, discipline="priority")
+        service = ServiceConfig(max_concurrent=1, discipline="sjf")
         result = run_service(
             arrivals, small_config,
             make_nsm_abm(nsm_layout, small_config, "normal"), service,

@@ -1,0 +1,265 @@
+"""Golden-trace equivalence of the numpy batch-execution engine.
+
+The vector engine (:mod:`repro.sim.vector` plus the vectorised interest
+tracker paths in :mod:`repro.core.interest`) exists purely to make the same
+scheduling decisions faster; it must not change a single one.  These tests
+run identical workloads with ``engine="scalar"`` and ``engine="numpy"``
+across the storage-model x policy x workload-source matrix and assert
+bit-for-bit identical outcomes, plus the ``engine="auto"`` resolution rules
+and the CPU-heap compaction bound the scalar path relies on under
+cancellation churn.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ServiceConfig
+from repro.common.errors import SimulationError
+from repro.service.admission import AdmissionController
+from repro.service.arrivals import Arrival
+from repro.service.server import OpenSystemSource
+from repro.sim import vector
+from repro.sim.results import scheduling_fingerprint as _fingerprint
+from repro.sim.runner import ScanSimulator, run_simulation
+from repro.sim.setup import make_dsm_abm, make_nsm_abm
+from repro.sim.source import ClosedStreamSource
+from repro.sim.vector import AUTO_NUMPY_THRESHOLD, numpy_available, resolve_engine
+from repro.workload.queries import QueryFamily, QueryTemplate
+from repro.workload.streams import build_streams
+from tests.conftest import make_request
+
+NUM_STREAMS = 5
+QUERIES_PER_STREAM = 2
+SEED = 1234
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy engine unavailable"
+)
+
+
+def _nsm_workload():
+    fast = QueryFamily("F", cpu_per_chunk=0.002)
+    slow = QueryFamily("S", cpu_per_chunk=0.02)
+    return [
+        QueryTemplate(fast, 10),
+        QueryTemplate(fast, 50),
+        QueryTemplate(slow, 100),
+    ]
+
+
+def _dsm_workload():
+    narrow = QueryFamily("F", cpu_per_chunk=0.002, columns=("key", "price"))
+    medium = QueryFamily("G", cpu_per_chunk=0.002, columns=("price", "flag"))
+    wide = QueryFamily("S", cpu_per_chunk=0.02, columns=("key", "ref", "date"))
+    return [
+        QueryTemplate(narrow, 10),
+        QueryTemplate(medium, 50),
+        QueryTemplate(wide, 100),
+    ]
+
+
+def _closed_streams(templates, layout):
+    return build_streams(
+        templates, layout, NUM_STREAMS, QUERIES_PER_STREAM, seed=SEED
+    )
+
+
+def _open_source(templates, layout):
+    specs = [
+        spec
+        for stream in _closed_streams(templates, layout)
+        for spec in stream
+    ]
+    arrivals = [
+        Arrival(time=0.3 * index, spec=spec) for index, spec in enumerate(specs)
+    ]
+    admission = AdmissionController(
+        ServiceConfig(max_concurrent=4, queue_capacity=64)
+    )
+    return OpenSystemSource(arrivals, admission)
+
+
+def _run_nsm(nsm_layout, config, workload_kind, engine, policy="relevance"):
+    templates = _nsm_workload()
+    abm = make_nsm_abm(nsm_layout, config, policy, capacity_chunks=8)
+    if workload_kind == "closed":
+        workload = _closed_streams(templates, nsm_layout)
+    else:
+        workload = _open_source(templates, nsm_layout)
+    return run_simulation(workload, config, abm, record_trace=True, engine=engine)
+
+
+def _run_dsm(dsm_layout, config, workload_kind, engine, policy="relevance"):
+    templates = _dsm_workload()
+    capacity_pages = max(64, int(dsm_layout.table_pages() * 0.3))
+    abm = make_dsm_abm(
+        dsm_layout, config, policy, capacity_pages=capacity_pages
+    )
+    if workload_kind == "closed":
+        workload = _closed_streams(templates, dsm_layout)
+    else:
+        workload = _open_source(templates, dsm_layout)
+    return run_simulation(workload, config, abm, record_trace=True, engine=engine)
+
+
+# ------------------------------------------------------- engine resolution
+class TestResolveEngine:
+    def test_scalar_is_always_allowed(self):
+        assert resolve_engine("scalar", None) == "scalar"
+        assert resolve_engine("scalar", 10_000) == "scalar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError, match="unknown engine"):
+            resolve_engine("cython", 100)
+
+    def test_auto_without_a_size_hint_stays_scalar(self):
+        # Open-system sources and cluster shards cannot bound their query
+        # count up front; auto must not guess.
+        assert resolve_engine("auto", None) == "scalar"
+
+    @needs_numpy
+    def test_auto_threshold(self):
+        assert resolve_engine("auto", AUTO_NUMPY_THRESHOLD - 1) == "scalar"
+        assert resolve_engine("auto", AUTO_NUMPY_THRESHOLD) == "numpy"
+
+    def test_explicit_numpy_without_numpy_is_an_error(self, monkeypatch):
+        monkeypatch.setattr(vector, "_np", None)
+        with pytest.raises(SimulationError, match="numpy is not installed"):
+            resolve_engine("numpy", 100)
+
+    def test_auto_without_numpy_degrades_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(vector, "_np", None)
+        assert resolve_engine("auto", 10_000) == "scalar"
+
+    @needs_numpy
+    def test_simulator_reports_its_resolved_engine(
+        self, tiny_schema, small_config, nsm_layout
+    ):
+        def simulator(num_streams):
+            streams = build_streams(
+                _nsm_workload(), nsm_layout, num_streams, 2, seed=SEED
+            )
+            abm = make_nsm_abm(
+                nsm_layout, small_config, "relevance", capacity_chunks=8
+            )
+            source = ClosedStreamSource(
+                streams, small_config.stream_start_delay_s
+            )
+            return ScanSimulator(source, small_config, abm)
+
+        # 5 streams x 2 queries = 10 < threshold; 20 x 2 = 40 >= threshold.
+        assert simulator(5).resolved_engine == "scalar"
+        assert simulator(20).resolved_engine == "numpy"
+
+
+# --------------------------------------------------- NSM engine equivalence
+@needs_numpy
+class TestNSMEngineEquivalence:
+    @pytest.mark.parametrize("volumes", [1, 4])
+    @pytest.mark.parametrize("workload_kind", ["closed", "open"])
+    def test_relevance_decisions_identical(
+        self, nsm_layout, small_config, volumes, workload_kind
+    ):
+        config = small_config.with_volumes(volumes)
+        scalar = _run_nsm(nsm_layout, config, workload_kind, engine="scalar")
+        vectored = _run_nsm(nsm_layout, config, workload_kind, engine="numpy")
+        assert _fingerprint(scalar) == _fingerprint(vectored)
+
+    @pytest.mark.parametrize("policy", ["normal", "attach", "elevator"])
+    def test_other_policies_identical(self, nsm_layout, small_config, policy):
+        scalar = _run_nsm(
+            nsm_layout, small_config, "closed", engine="scalar", policy=policy
+        )
+        vectored = _run_nsm(
+            nsm_layout, small_config, "closed", engine="numpy", policy=policy
+        )
+        assert _fingerprint(scalar) == _fingerprint(vectored)
+
+
+# --------------------------------------------------- DSM engine equivalence
+@needs_numpy
+class TestDSMEngineEquivalence:
+    @pytest.mark.parametrize("workload_kind", ["closed", "open"])
+    def test_relevance_decisions_identical(
+        self, dsm_layout, small_config, workload_kind
+    ):
+        scalar = _run_dsm(dsm_layout, small_config, workload_kind, engine="scalar")
+        vectored = _run_dsm(dsm_layout, small_config, workload_kind, engine="numpy")
+        assert _fingerprint(scalar) == _fingerprint(vectored)
+
+    def test_normal_policy_identical(self, dsm_layout, small_config):
+        scalar = _run_dsm(
+            dsm_layout, small_config, "closed", engine="scalar", policy="normal"
+        )
+        vectored = _run_dsm(
+            dsm_layout, small_config, "closed", engine="numpy", policy="normal"
+        )
+        assert _fingerprint(scalar) == _fingerprint(vectored)
+
+
+# ------------------------------------------------------ CPU-heap compaction
+class TestCpuHeapCompaction:
+    """The scalar CPU heap must stay bounded under cancellation churn.
+
+    Lazy invalidation leaves a cancelled query's heap entry in place; the
+    compaction pass purges stale entries once they outnumber live ones, so
+    a long hedge/fail-stop run cannot grow the heap (and every heappush)
+    without bound.
+    """
+
+    def _churn_simulator(self, tiny_schema, small_config):
+        from repro.storage.nsm import NSMTableLayout
+
+        tuples = 16 * (small_config.buffer.chunk_bytes // 32)
+        layout = NSMTableLayout.from_buffer_config(
+            tiny_schema, tuples, small_config.buffer
+        )
+        # 48 single-query streams of slow scans: everything admits quickly
+        # and stays on the CPU long enough to be cancelled mid-flight.
+        streams = [
+            [make_request(index, range(0, 16), cpu_per_chunk=2.0)]
+            for index in range(48)
+        ]
+        abm = make_nsm_abm(layout, small_config, "relevance", capacity_chunks=8)
+        source = ClosedStreamSource(streams, 0.001)
+        return ScanSimulator(source, small_config, abm, engine="scalar")
+
+    def test_fail_stop_compacts_the_heap(self, tiny_schema, small_config):
+        simulator = self._churn_simulator(tiny_schema, small_config)
+        simulator.begin_run()
+        for _ in range(10_000):
+            if simulator.is_done() or len(simulator._running) >= 40:
+                break
+            simulator.step(simulator.next_step_time())
+        assert len(simulator._running) >= 40
+        assert len(simulator._cpu_heap) >= len(simulator._running)
+        simulator.fail_stop(simulator._now)
+        # Every entry went stale at once; compaction must have kept the
+        # heap within its constant bound instead of retaining all of them.
+        assert len(simulator._running) == 0
+        assert len(simulator._cpu_heap) <= 32
+
+    def test_incremental_cancellation_keeps_the_bound(
+        self, tiny_schema, small_config
+    ):
+        simulator = self._churn_simulator(tiny_schema, small_config)
+        simulator.begin_run()
+        for _ in range(10_000):
+            if simulator.is_done() or len(simulator._running) >= 40:
+                break
+            simulator.step(simulator.next_step_time())
+        victims = sorted(simulator._running)[:-4]
+        for query_id in victims:
+            simulator.cancel_query(query_id, simulator._now)
+            assert len(simulator._cpu_heap) <= max(
+                32, 2 * len(simulator._running)
+            )
+        # The survivors still run to completion on the compacted heap.
+        for _ in range(100_000):
+            if simulator.is_done():
+                break
+            simulator.step(simulator.next_step_time())
+        assert simulator.is_done()
+        result = simulator.finish()
+        assert len(result.queries) == 48 - len(victims)
